@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one paper figure/table, prints a text
+rendering, and writes it under ``benchmarks/results/`` so the artifacts
+survive pytest's output capture.  Figure pairs that share simulation
+runs (8/9, 12/13) cache results in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_cache: dict = {}
+
+
+def cached(key, compute):
+    """Process-wide memo so figure pairs reuse the same runs."""
+    if key not in _cache:
+        _cache[key] = compute()
+    return _cache[key]
+
+
+def save_result(name: str, text: str) -> str:
+    """Write a figure's text rendering to benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return str(path)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    These are simulation-campaign benchmarks (minutes), not
+    microbenchmarks; one round is the honest measurement.
+    """
+    if benchmark is not None and getattr(benchmark, "enabled", True):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+    return fn()

@@ -1,0 +1,101 @@
+"""Ablations for design choices the paper discusses but does not plot:
+
+* **link-level packet preemption** (Figure 14's conclusion: "the only
+  way to improve tail latency significantly is with changes to the
+  networking hardware, such as implementing link-level packet
+  preemption") — we can actually build that hardware in simulation;
+* **granting to the oldest message** (section 5.1: "we speculate that
+  the performance of these outliers could be improved by dedicating a
+  small fraction of downlink bandwidth to the oldest message");
+* **online priority estimation** (section 4: the RAMCloud
+  implementation precomputed priorities; the full mechanism measures
+  incoming message lengths on the fly).
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import scaled_kwargs
+from repro.homa.config import HomaConfig
+
+from _shared import cached, run_once, save_result
+
+
+def run_preemption():
+    base = ExperimentConfig(protocol="homa", workload="W3", load=0.8,
+                            **scaled_kwargs("W3"))
+    normal = run_experiment(base)
+    preempt = ExperimentConfig(
+        protocol="homa", workload="W3", load=0.8,
+        net_overrides={"preemptive_links": True},
+        **scaled_kwargs("W3"))
+    preemptive = run_experiment(preempt)
+    return normal, preemptive
+
+
+def run_grant_oldest():
+    kwargs = scaled_kwargs("W4")
+    normal = run_experiment(ExperimentConfig(
+        protocol="homa", workload="W4", load=0.8, **kwargs))
+    oldest = run_experiment(ExperimentConfig(
+        protocol="homa", workload="W4", load=0.8,
+        homa=HomaConfig(grant_oldest=True), **kwargs))
+    return normal, oldest
+
+
+def run_online_priorities():
+    kwargs = scaled_kwargs("W2")
+    static = run_experiment(ExperimentConfig(
+        protocol="homa", workload="W2", load=0.8, **kwargs))
+    online = run_experiment(ExperimentConfig(
+        protocol="homa", workload="W2", load=0.8,
+        homa=HomaConfig(online_priorities=True, online_refresh_ps=2_000_000_000),
+        **kwargs))
+    return static, online
+
+
+def test_ablation_link_preemption(benchmark):
+    normal, preemptive = run_once(
+        benchmark, lambda: cached("abl_preempt", run_preemption))
+    text = "\n".join([
+        "== Ablation: ideal link-level packet preemption (W3, 80%) ==",
+        f"  normal links:      p99 slowdown {normal.tracker.overall(99):.2f}",
+        f"  preemptive links:  p99 slowdown {preemptive.tracker.overall(99):.2f}",
+        "  paper (Fig 14): remaining tail delay is almost entirely "
+        "preemption lag, so preemptive links should approach slowdown 1",
+    ])
+    save_result("ablation_preemption", text)
+    assert preemptive.tracker.overall(99) <= normal.tracker.overall(99) + 0.05
+
+
+def test_ablation_grant_oldest(benchmark):
+    normal, oldest = run_once(
+        benchmark, lambda: cached("abl_oldest", run_grant_oldest))
+    # Compare the very largest messages (the SRPT outliers).
+    normal_tail = normal.slowdown_series(99)[-1]
+    oldest_tail = oldest.slowdown_series(99)[-1]
+    text = "\n".join([
+        "== Ablation: reserve a grant slot for the oldest message "
+        "(W4, 80%) ==",
+        f"  pure SRPT:        largest-bucket p99 slowdown {normal_tail:.2f}",
+        f"  oldest reserved:  largest-bucket p99 slowdown {oldest_tail:.2f}",
+        "  paper (5.1): speculated to improve the 100x outliers for the "
+        "very largest messages",
+    ])
+    save_result("ablation_grant_oldest", text)
+    assert oldest.finish_rate > 0.9
+
+
+def test_ablation_online_priorities(benchmark):
+    static, online = run_once(
+        benchmark, lambda: cached("abl_online", run_online_priorities))
+    text = "\n".join([
+        "== Ablation: online priority estimation vs precomputed (W2, 80%) ==",
+        f"  precomputed: p99 slowdown {static.tracker.overall(99):.2f}",
+        f"  online:      p99 slowdown {online.tracker.overall(99):.2f}",
+        "  paper (4): the implementation precomputed priorities from the "
+        "benchmark workload; online estimation should converge close",
+    ])
+    save_result("ablation_online_priorities", text)
+    # Online estimation must be in the same ballpark as precomputed.
+    assert online.tracker.overall(99) < 3.0 * static.tracker.overall(99)

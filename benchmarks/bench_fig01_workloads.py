@@ -1,0 +1,31 @@
+"""Figure 1: the five workloads' message-count and byte-weighted CDFs."""
+
+from repro.workloads.catalog import WORKLOADS
+
+from _shared import run_once, save_result
+
+
+def render_fig01() -> str:
+    lines = ["== Figure 1: workload CDFs (reconstructed) =="]
+    lines.append(f"{'':>4} {'mean(B)':>10} {'deciles (10%..90% of messages)':<62}")
+    for key, workload in WORKLOADS.items():
+        deciles = " ".join(str(d) for d in workload.deciles)
+        lines.append(f"{key:>4} {workload.cdf.mean():>10.0f} {deciles}")
+    lines.append("")
+    lines.append("byte-weighted CDF checkpoints (fraction of bytes in "
+                 "messages <= size):")
+    lines.append(f"{'':>4} {'<=1KB':>8} {'<=10KB':>8} {'<=100KB':>9} {'<=1MB':>8}")
+    for key, workload in WORKLOADS.items():
+        cdf = workload.cdf
+        row = [cdf.byte_fraction_below(s) for s in (1_000, 10_000, 100_000, 1_000_000)]
+        lines.append(f"{key:>4} " + " ".join(f"{v:>8.2f}" for v in row))
+    lines.append("")
+    lines.append("paper anchors: W1 >70% of bytes <1000B; W5 ~95% of bytes "
+                 ">1MB; ordering by mean size W1<W2<W3<W4<W5")
+    return "\n".join(lines)
+
+
+def test_fig01_workloads(benchmark):
+    text = run_once(benchmark, render_fig01)
+    save_result("fig01_workloads", text)
+    assert "W5" in text

@@ -1,0 +1,37 @@
+"""Figure 4: unscheduled priority allocation for workload W2."""
+
+from repro.homa.priorities import allocate_priorities
+from repro.workloads.catalog import WORKLOADS
+
+from _shared import run_once, save_result
+
+UNSCHED_LIMIT = 10220
+
+
+def render_fig04() -> str:
+    lines = ["== Figure 4: unscheduled priority allocation =="]
+    for key in ("W1", "W2", "W3", "W4", "W5"):
+        cdf = WORKLOADS[key].cdf
+        alloc = allocate_priorities(cdf, UNSCHED_LIMIT)
+        frac = cdf.mean_truncated(UNSCHED_LIMIT) / cdf.mean()
+        cut_desc = []
+        lo = 1
+        for level, cutoff in zip(reversed(alloc.unsched_levels), alloc.cutoffs):
+            cut_desc.append(f"P{level}:{lo}-{cutoff}")
+            lo = cutoff + 1
+        lines.append(
+            f"  {key}: unsched bytes {frac * 100:5.1f}%  -> "
+            f"{alloc.n_unsched} unsched + {alloc.n_sched} sched levels")
+        lines.append(f"      cutoffs: {'  '.join(cut_desc)}")
+    lines.append("")
+    lines.append("paper: W2 ~80% unscheduled -> 6 of 8 levels; P7 covers "
+                 "1-280 B; level splits 7/6/4/1/1 for W1..W5")
+    return "\n".join(lines)
+
+
+def test_fig04_unsched_allocation(benchmark):
+    text = run_once(benchmark, render_fig04)
+    save_result("fig04_unsched_alloc", text)
+    # Hard shape assertions (also covered by unit tests).
+    alloc = allocate_priorities(WORKLOADS["W2"].cdf, UNSCHED_LIMIT)
+    assert alloc.n_unsched == 6

@@ -1,0 +1,92 @@
+"""Figure 10: incast — throughput of one client receiving responses
+from RPCs issued concurrently to 15 servers, with and without Homa's
+incast control.
+
+With control enabled, marked RPCs carry only a few hundred unscheduled
+bytes, so TOR buffer occupancy stays bounded and throughput stays flat.
+Without it, every 10 KB response arrives blind; past the point where
+concurrent responses exceed the TOR downlink buffer, drops and
+millisecond RESEND timeouts crater goodput (the paper sees the cliff
+around 300 concurrent RPCs).
+"""
+
+import pytest
+
+from repro.apps.incast import IncastClient
+from repro.core.engine import Simulator
+from repro.core.topology import NetworkConfig, build_network
+from repro.core.units import MS
+from repro.experiments.scale import current_scale
+from repro.homa.config import HomaConfig
+from repro.transport.registry import transport_factory
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+#: shared-buffer bytes one bursting port may occupy (typical shallow
+#: datacenter switch: a few MB of shared pool); sets the no-control
+#: cliff at ~ buffer / 10 KB concurrent RPCs, as in the paper.
+PORT_BUFFER = 3_000_000
+
+CONCURRENCIES = {"tiny": (10, 100, 400),
+                 "quick": (10, 50, 150, 300, 500, 1000, 2000),
+                 "paper": (10, 50, 150, 300, 500, 1000, 2000, 5000)}
+
+
+def run_incast(concurrency: int, control: bool) -> float:
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(
+        racks=1, hosts_per_rack=16, aggrs=0,
+        port_buffer_bytes=PORT_BUFFER))
+    homa_cfg = HomaConfig(incast_control=control)
+    factory = transport_factory("homa", sim, net,
+                                get_workload("W3").cdf, homa_cfg)
+    transports = net.attach_transports(lambda host: factory(host))
+    from repro.apps.echo import echo_handler
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+    warmup = 5 * MS
+    sim.run(until_ps=0)
+    client = IncastClient(sim, transports[0], list(range(1, 16)),
+                          concurrency)
+    sim.run(until_ps=warmup)
+    client.response_bytes_received = 0
+    client.started_ps = sim.now
+    duration = (10 if current_scale().name != "tiny" else 4) * MS
+    sim.run(until_ps=warmup + duration)
+    return client.goodput_gbps()
+
+
+def run_campaign():
+    rows = []
+    for concurrency in CONCURRENCIES[current_scale().name]:
+        with_control = run_incast(concurrency, control=True)
+        without = run_incast(concurrency, control=False)
+        rows.append((concurrency, with_control, without))
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["== Figure 10: incast throughput (client goodput, Gbps) =="]
+    lines.append(f"{'#concurrent RPCs':>18} {'incast control':>16} "
+                 f"{'no control':>12}")
+    for concurrency, with_control, without in rows:
+        lines.append(f"{concurrency:>18} {with_control:>16.2f} "
+                     f"{without:>12.2f}")
+    lines.append("")
+    lines.append("paper: with control ~flat near 9 Gbps through thousands "
+                 "of RPCs; without control, packet drops degrade "
+                 "throughput past ~300 RPCs")
+    return "\n".join(lines)
+
+
+def test_fig10_incast(benchmark):
+    rows = run_once(benchmark, lambda: cached("fig10", run_campaign))
+    save_result("fig10_incast", render(rows))
+    small = rows[0]
+    big = rows[-1]
+    # With incast control, throughput holds up at high concurrency.
+    assert big[1] > 0.5 * small[1]
+    # Without control, large incasts lose badly to drops and timeouts.
+    if big[0] >= 500:
+        assert big[2] < 0.7 * big[1]

@@ -1,0 +1,102 @@
+"""Figures 12 and 13: slowdown vs message size for Homa, pFabric,
+pHost, PIAS (and NDP on W5) at high and moderate network load.
+
+The two figures share simulation runs (12 = 99th percentile, 13 =
+median), so the runs are cached and both renderings come from the same
+campaign.  pHost and NDP run at the highest load they sustain, exactly
+as footnoted in the paper's Figure 12 caption.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.paper_data import FIG12_SHORT_MSG_P99_80
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, effective_load, scaled_kwargs
+from repro.experiments.tables import series_table
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+WORKLOADS = ("W1", "W2", "W3", "W4", "W5")
+
+
+def protocols_for(workload: str) -> tuple[str, ...]:
+    if workload == "W5":
+        return ("homa", "pfabric", "phost", "pias", "ndp")
+    return ("homa", "pfabric", "phost", "pias")
+
+
+def loads_for_scale() -> tuple[float, ...]:
+    # Figure 12(a) is 80%; (b) is 50%.  Quick mode runs only the
+    # 80% panel (the paper's headline) to bound wall time.
+    return (0.8, 0.5) if current_scale().name == "paper" else (0.8,)
+
+
+def run_campaign(workload: str):
+    results = {}
+    for load in loads_for_scale():
+        for protocol in protocols_for(workload):
+            cfg = ExperimentConfig(
+                protocol=protocol, workload=workload,
+                load=effective_load(protocol, load),
+                **scaled_kwargs(workload))
+            results[(protocol, load)] = run_experiment(cfg)
+    return results
+
+
+def render(workload: str, results, percentile: float, figure: str) -> str:
+    edges = get_workload(workload).bucket_edges()
+    chunks = []
+    for load in loads_for_scale():
+        columns = {}
+        for protocol in protocols_for(workload):
+            result = results[(protocol, load)]
+            label = protocol
+            actual = result.cfg.load
+            if actual != load:
+                label = f"{protocol}@{int(actual * 100)}"
+            columns[label] = result.slowdown_series(percentile)
+        pct = "99th-percentile" if percentile == 99 else "median"
+        chunks.append(series_table(
+            f"Figure {figure}: {pct} slowdown, {workload}, "
+            f"{int(load * 100)}% load",
+            edges, columns,
+            note="pHost/NDP at their max sustainable load, as in the paper"))
+        counts = ", ".join(
+            f"{p}:{results[(p, load)].tracker.count}"
+            for p in protocols_for(workload))
+        chunks.append(f"   messages measured: {counts}")
+        if percentile == 99 and load == 0.8:
+            paper = FIG12_SHORT_MSG_P99_80.get(workload, {})
+            ref = ", ".join(f"{k}~{v}" for k, v in paper.items())
+            chunks.append(f"   paper short-message p99 reference: {ref}")
+    return "\n\n".join(chunks)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig12_slowdown_p99(benchmark, workload):
+    results = run_once(benchmark,
+                       lambda: cached(("fig12", workload),
+                                      lambda: run_campaign(workload)))
+    text = render(workload, results, 99, "12")
+    save_result(f"fig12_slowdown_p99_{workload}", text)
+    homa = results[("homa", 0.8)]
+    min_count = 10 if current_scale().name == "tiny" else 100
+    assert homa.tracker.count > min_count
+    # Shape: Homa's short-message p99 stays small at 80% load.
+    short_p99 = homa.slowdown_series(99)[:5]
+    finite = [v for v in short_p99 if v == v]
+    assert finite and min(finite) < 4.0
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig13_slowdown_median(benchmark, workload):
+    results = run_once(benchmark,
+                       lambda: cached(("fig12", workload),
+                                      lambda: run_campaign(workload)))
+    text = render(workload, results, 50, "13")
+    save_result(f"fig13_slowdown_median_{workload}", text)
+    homa = results[("homa", 0.8)]
+    assert homa.tracker.overall(50) < 3.0

@@ -1,0 +1,80 @@
+"""Figure 15: the maximum network load each protocol can sustain.
+
+"Homa can operate at higher network loads than either pFabric, pHost,
+NDP, or PIAS, and its capacity is more stable across workloads."
+"""
+
+import pytest
+
+from repro.experiments.maxload import find_max_load
+from repro.experiments.paper_data import FIG15_MAX_LOAD
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scale import current_scale, scaled_kwargs
+
+from _shared import cached, run_once, save_result
+
+#: (workload, protocols) pairs exercised per scale; paper mode covers
+#: the full matrix, quick mode a representative slice.
+MATRIX = {
+    "tiny": [("W3", ("homa", "phost"))],
+    "quick": [
+        ("W3", ("homa", "pfabric", "phost", "pias")),
+        ("W4", ("homa", "pfabric", "phost", "pias")),
+        ("W5", ("homa", "ndp")),
+    ],
+    "paper": [
+        (w, ("homa", "pfabric", "phost", "pias") + (("ndp",) if w == "W5" else ()))
+        for w in ("W1", "W2", "W3", "W4", "W5")
+    ],
+}
+
+GRID = {"tiny": (0.5, 0.7, 0.8),
+        "quick": (0.6, 0.7, 0.8, 0.9),
+        "paper": (0.5, 0.58, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95)}
+
+
+def run_campaign():
+    scale = current_scale()
+    rows = []
+    for workload, protocols in MATRIX[scale.name]:
+        kwargs = scaled_kwargs(workload)
+        # Stability detection needs uncapped open-loop generation:
+        # a message cap would let even an overloaded run drain.
+        kwargs["max_messages"] = None
+        if workload == "W4":
+            kwargs["duration_ms"] = min(kwargs["duration_ms"], 12.0)
+        if workload == "W5":
+            kwargs["duration_ms"] = min(kwargs["duration_ms"], 30.0)
+        for protocol in protocols:
+            base = ExperimentConfig(protocol=protocol, workload=workload,
+                                    **kwargs)
+            rows.append(find_max_load(base, grid=GRID[scale.name]))
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["== Figure 15: maximum sustainable network load =="]
+    lines.append(f"{'workload':>9} {'protocol':>9} {'max load':>9} "
+                 f"{'total util':>11} {'app util':>9} {'paper max':>10}")
+    for row in rows:
+        paper = FIG15_MAX_LOAD.get(row.workload, {}).get(row.protocol, "?")
+        lines.append(
+            f"{row.workload:>9} {row.protocol:>9} "
+            f"{row.max_load * 100:>8.0f}% {row.total_utilization * 100:>10.1f}% "
+            f"{row.app_utilization * 100:>8.1f}% {paper!s:>9}%")
+    lines.append("")
+    lines.append("paper: Homa sustains the highest loads (87-92%); pHost "
+                 "58-79%; NDP 73% on W5; probes are grid-resolution limited")
+    return "\n".join(lines)
+
+
+def test_fig15_max_load(benchmark):
+    rows = run_once(benchmark, lambda: cached("fig15", run_campaign))
+    save_result("fig15_max_load", render(rows))
+    by_key = {(r.workload, r.protocol): r.max_load for r in rows}
+    # Shape: Homa sustains at least as much load as pHost everywhere.
+    for (workload, protocol), load in by_key.items():
+        if protocol == "homa":
+            phost = by_key.get((workload, "phost"))
+            if phost is not None:
+                assert load >= phost

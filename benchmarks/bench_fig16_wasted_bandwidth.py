@@ -1,0 +1,68 @@
+"""Figure 16: wasted receiver bandwidth vs load, per overcommitment
+degree (number of scheduled priority levels), workload W4.
+
+"If receivers grant to only one message at a time, Homa can only
+support a network load of about 63% for workload W4, versus 89% with an
+overcommitment level of 7."
+"""
+
+import pytest
+
+from repro.experiments.paper_data import FIG16_W4_MAX_LOAD_BY_DEGREE
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.homa.config import HomaConfig
+
+from _shared import cached, run_once, save_result
+
+DEGREES = {"tiny": (1, 7), "quick": (1, 2, 4, 7), "paper": (1, 2, 3, 4, 5, 7)}
+LOADS = {"tiny": (0.5, 0.8), "quick": (0.5, 0.63, 0.8, 0.89),
+         "paper": (0.3, 0.5, 0.63, 0.7, 0.8, 0.89)}
+
+
+def run_campaign():
+    scale = current_scale()
+    kwargs = scaled_kwargs("W4")
+    # Wasted-bandwidth fractions need continuous open-loop generation.
+    kwargs["max_messages"] = None
+    kwargs["duration_ms"] = min(kwargs["duration_ms"], 12.0)
+    rows = []
+    for degree in DEGREES[scale.name]:
+        for load in LOADS[scale.name]:
+            cfg = ExperimentConfig(
+                protocol="homa", workload="W4", load=load,
+                homa=HomaConfig(n_sched_override=degree),
+                collect=("wasted",),
+                **kwargs)
+            result = run_experiment(cfg)
+            rows.append((degree, load, result.wasted_fraction,
+                         result.finish_rate))
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["== Figure 16: wasted receiver bandwidth, W4 =="]
+    lines.append(f"{'sched prios':>12} {'load':>6} {'wasted bw':>10} "
+                 f"{'finish rate':>12}")
+    for degree, load, wasted, finish in rows:
+        lines.append(f"{degree:>12} {load * 100:>5.0f}% "
+                     f"{wasted * 100:>9.1f}% {finish:>12.3f}")
+    lines.append("")
+    paper = ", ".join(f"{k} prio:{v}%"
+                      for k, v in FIG16_W4_MAX_LOAD_BY_DEGREE.items())
+    lines.append(f"paper max sustainable load by degree: {paper}")
+    lines.append("(wasted bandwidth cannot exceed surplus = 100% - load; "
+                 "a finish rate << 1 marks an unsustainable point)")
+    return "\n".join(lines)
+
+
+def test_fig16_wasted_bandwidth(benchmark):
+    rows = run_once(benchmark, lambda: cached("fig16", run_campaign))
+    save_result("fig16_wasted_bandwidth", render(rows))
+    by_key = {(d, l): (w, f) for d, l, w, f in rows}
+    degrees = sorted({d for d, _, _, _ in rows})
+    high_load = max(l for _, l, _, _ in rows)
+    # Shape: more overcommitment -> less wasted bandwidth at high load.
+    low_degree_waste = by_key[(degrees[0], high_load)][0]
+    high_degree_waste = by_key[(degrees[-1], high_load)][0]
+    assert high_degree_waste <= low_degree_waste + 0.02

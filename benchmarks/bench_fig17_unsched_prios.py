@@ -1,0 +1,56 @@
+"""Figure 17: how many unscheduled priority levels does W1 need?
+
+"With only a single unscheduled priority, the 99th percentile slowdown
+increases by more than 2.5x for most message sizes.  A second priority
+level improves latency for more than 80% of messages; additional levels
+provide smaller gains."
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.tables import series_table
+from repro.homa.config import HomaConfig
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+LEVELS = {"tiny": (1, 7), "quick": (1, 2, 3, 7), "paper": (1, 2, 3, 7)}
+
+
+def run_campaign():
+    results = {}
+    for n_unsched in LEVELS[current_scale().name]:
+        cfg = ExperimentConfig(
+            protocol="homa", workload="W1", load=0.8,
+            homa=HomaConfig(n_unsched_override=n_unsched,
+                            n_sched_override=1),
+            **scaled_kwargs("W1"))
+        results[n_unsched] = run_experiment(cfg)
+    return results
+
+
+def render(results) -> str:
+    edges = get_workload("W1").bucket_edges()
+    columns = {f"{n} unsched": r.slowdown_series(99)
+               for n, r in results.items()}
+    text = series_table(
+        "Figure 17: 99th-percentile slowdown, W1, 80% load, "
+        "1 scheduled priority, varying unscheduled levels",
+        edges, columns)
+    text += ("\n   paper: 1 level is >2.5x worse for most sizes; "
+             "2 levels recover most of the gain")
+    return text
+
+
+def test_fig17_unsched_prios(benchmark):
+    results = run_once(benchmark, lambda: cached("fig17", run_campaign))
+    save_result("fig17_unsched_prios", render(results))
+    levels = sorted(results)
+    one = results[levels[0]].slowdown_series(99)
+    many = results[levels[-1]].slowdown_series(99)
+    pairs = [(a, b) for a, b in zip(one, many) if a == a and b == b]
+    assert pairs
+    # Shape: a single unscheduled level is clearly worse somewhere.
+    assert max(a / b for a, b in pairs) > 1.3

@@ -1,0 +1,58 @@
+"""Figure 18: the cutoff point between two unscheduled priorities, W3.
+
+"Up until about 2000 bytes, the penalty for smaller messages is
+negligible; however, increasing the cutoff to 4000 bytes results in a
+noticeable penalty ... Homa's policy of balancing traffic in the levels
+would choose a cutoff point of 1930 bytes."
+"""
+
+import pytest
+
+from repro.experiments.paper_data import FIG18_BALANCED_CUTOFF
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.tables import series_table
+from repro.homa.config import HomaConfig
+from repro.homa.priorities import compute_cutoffs
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+CUTOFFS = {"tiny": (100, 2000), "quick": (100, 400, 1000, 2000, 4000),
+           "paper": (100, 400, 1000, 2000, 4000)}
+
+
+def run_campaign():
+    workload = get_workload("W3")
+    max_bytes = workload.cdf.max_bytes()
+    results = {}
+    for cutoff in CUTOFFS[current_scale().name]:
+        cfg = ExperimentConfig(
+            protocol="homa", workload="W3", load=0.8,
+            homa=HomaConfig(n_unsched_override=2,
+                            cutoff_override=(cutoff, max_bytes)),
+            **scaled_kwargs("W3"))
+        results[cutoff] = run_experiment(cfg)
+    balanced = compute_cutoffs(workload.cdf, 2, 10220)[0]
+    return results, balanced
+
+
+def render(results, balanced) -> str:
+    edges = get_workload("W3").bucket_edges()
+    columns = {f"cut={c}": r.slowdown_series(99)
+               for c, r in results.items()}
+    text = series_table(
+        "Figure 18: 99th-percentile slowdown, W3, 80% load, "
+        "2 unscheduled priorities, varying cutoff",
+        edges, columns)
+    text += (f"\n   byte-balancing policy picks {balanced} B "
+             f"(paper: {FIG18_BALANCED_CUTOFF} B)")
+    return text
+
+
+def test_fig18_cutoff(benchmark):
+    results, balanced = run_once(benchmark,
+                                 lambda: cached("fig18", run_campaign))
+    save_result("fig18_cutoff", render(results, balanced))
+    # The balancing policy must land in the paper's sweet-spot region.
+    assert 1000 <= balanced <= 4000

@@ -1,0 +1,56 @@
+"""Figure 19: how many scheduled priority levels does W4 need?
+
+"Additional scheduled priorities beyond 4 have little impact on
+latency.  However, [they] have a significant impact on the network load
+that can be sustained ... This workload could not run at 80% network
+load with fewer than 4 scheduled priorities."
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.tables import series_table
+from repro.homa.config import HomaConfig
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+DEGREES = {"tiny": (2, 7), "quick": (2, 4, 7), "paper": (2, 4, 7)}
+
+
+def run_campaign():
+    results = {}
+    for n_sched in DEGREES[current_scale().name]:
+        cfg = ExperimentConfig(
+            protocol="homa", workload="W4", load=0.8,
+            homa=HomaConfig(n_sched_override=n_sched,
+                            n_unsched_override=1),
+            **scaled_kwargs("W4"))
+        results[n_sched] = run_experiment(cfg)
+    return results
+
+
+def render(results) -> str:
+    edges = get_workload("W4").bucket_edges()
+    columns = {f"{n} sched": r.slowdown_series(99)
+               for n, r in results.items()}
+    text = series_table(
+        "Figure 19: 99th-percentile slowdown, W4, 80% load, "
+        "1 unscheduled priority, varying scheduled levels",
+        edges, columns)
+    rates = ", ".join(f"{n}:{r.finish_rate:.3f}"
+                      for n, r in results.items())
+    text += f"\n   finish rates (stability at 80% load): {rates}"
+    text += ("\n   paper: >=4 scheduled levels needed to sustain 80% load; "
+             "beyond 4, little latency impact")
+    return text
+
+
+def test_fig19_sched_prios(benchmark):
+    results = run_once(benchmark, lambda: cached("fig19", run_campaign))
+    save_result("fig19_sched_prios", render(results))
+    degrees = sorted(results)
+    # Shape: more scheduled levels -> at least as good throughput.
+    assert (results[degrees[-1]].finish_rate
+            >= results[degrees[0]].finish_rate - 0.02)

@@ -1,0 +1,61 @@
+"""Figure 20: the number of unscheduled bytes per message, W4.
+
+"Messages smaller than RTTbytes but larger than the unscheduled limit
+suffer 2.5x worse latency.  Increasing the unscheduled limit beyond
+RTTbytes results in worse performance for messages smaller than
+RTTbytes."
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.tables import series_table
+from repro.homa.config import HomaConfig
+from repro.workloads.catalog import get_workload
+
+from _shared import cached, run_once, save_result
+
+#: the paper sweeps 1, 500, 1000, RTTbytes, 2xRTTbytes
+LIMITS = {"tiny": (500, 9680), "quick": (1, 500, 1000, 9680, 19360),
+          "paper": (1, 500, 1000, 9680, 19360)}
+
+
+def run_campaign():
+    results = {}
+    for limit in LIMITS[current_scale().name]:
+        cfg = ExperimentConfig(
+            protocol="homa", workload="W4", load=0.8,
+            homa=HomaConfig(unsched_limit=limit),
+            **scaled_kwargs("W4"))
+        results[limit] = run_experiment(cfg)
+    return results
+
+
+def render(results) -> str:
+    edges = get_workload("W4").bucket_edges()
+    columns = {}
+    for limit, result in results.items():
+        label = {9680: "RTTbytes", 19360: "2xRTT"}.get(limit, str(limit))
+        columns[label] = result.slowdown_series(99)
+    text = series_table(
+        "Figure 20: 99th-percentile slowdown, W4, 80% load, "
+        "varying unscheduled byte limit",
+        edges, columns)
+    text += ("\n   paper: messages between the limit and RTTbytes suffer "
+             "~2.5x; going beyond RTTbytes hurts small messages")
+    return text
+
+
+def test_fig20_unsched_bytes(benchmark):
+    results = run_once(benchmark, lambda: cached("fig20", run_campaign))
+    save_result("fig20_unsched_bytes", render(results))
+    limits = sorted(results)
+    # Shape: small-message latency with a tiny unscheduled limit is
+    # worse than with the RTTbytes default (they must wait a full RTT
+    # for grants).
+    tiny = results[limits[0]].slowdown_series(99)
+    rtt = results[9680].slowdown_series(99)
+    pairs = [(a, b) for a, b in zip(tiny[:6], rtt[:6]) if a == a and b == b]
+    assert pairs
+    assert max(a / b for a, b in pairs) > 1.2

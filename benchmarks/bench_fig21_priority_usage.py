@@ -1,0 +1,67 @@
+"""Figure 21: how W3 traffic spreads across the 8 priority levels as
+load grows.
+
+"The four unscheduled priorities are used evenly ... At 50% load, a
+receiver typically has only one schedulable message at a time, in which
+case the message uses the lowest priority level (P0) ... By the time
+network load reaches 90%, receivers typically have at least four
+partially-received messages, so they use all of the scheduled levels."
+"""
+
+import pytest
+
+from repro.experiments.paper_data import FIG21_NOTE
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+
+from _shared import cached, run_once, save_result
+
+LOADS = {"tiny": (0.5, 0.8), "quick": (0.5, 0.8, 0.9),
+         "paper": (0.5, 0.8, 0.9)}
+
+
+def run_campaign():
+    kwargs = scaled_kwargs("W3")
+    # Bandwidth fractions need continuous generation (no message cap).
+    kwargs["max_messages"] = None
+    kwargs["duration_ms"] = min(kwargs["duration_ms"], 3.0)
+    results = {}
+    for load in LOADS[current_scale().name]:
+        cfg = ExperimentConfig(protocol="homa", workload="W3", load=load,
+                               collect=("priousage",), **kwargs)
+        results[load] = run_experiment(cfg)
+    return results
+
+
+def render(results) -> str:
+    lines = ["== Figure 21: priority level usage, W3 "
+             "(% of downlink bandwidth per level) =="]
+    header = f"{'load':>6} |" + "".join(f"{'P' + str(p):>7}" for p in range(8))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for load, result in results.items():
+        row = f"{int(load * 100):>5}% |"
+        for fraction in result.prio_fractions:
+            row += f"{fraction * 100:>7.2f}"
+        lines.append(row)
+    lines.append("")
+    lines.append(f"paper: {FIG21_NOTE}")
+    return "\n".join(lines)
+
+
+def test_fig21_priority_usage(benchmark):
+    results = run_once(benchmark, lambda: cached("fig21", run_campaign))
+    save_result("fig21_priority_usage", render(results))
+    loads = sorted(results)
+    low = results[loads[0]].prio_fractions
+    high = results[loads[-1]].prio_fractions
+    # Scheduled traffic rides P0 first at low load; as load grows,
+    # concurrent messages push usage onto the higher scheduled levels
+    # (preemption), which is Figure 21's observation.
+    assert low[0] >= low[3] - 0.01  # P0 is the default scheduled level
+    assert sum(high[1:4]) >= sum(low[1:4])
+    if current_scale().name != "tiny":
+        # Unscheduled levels (P4-P7 for W3) carry roughly equal bytes
+        # (needs enough samples to be meaningful).
+        unsched = high[4:8]
+        assert max(unsched) < 4 * max(min(unsched), 1e-9)

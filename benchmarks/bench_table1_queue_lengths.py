@@ -1,0 +1,59 @@
+"""Table 1: average and maximum switch queue lengths at 80% load."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.scale import current_scale, scaled_kwargs
+
+from _shared import cached, run_once, save_result
+
+WORKLOADS = {"tiny": ("W3",), "quick": ("W1", "W2", "W3", "W4", "W5"),
+             "paper": ("W1", "W2", "W3", "W4", "W5")}
+
+
+def run_campaign():
+    rows = {}
+    for workload in WORKLOADS[current_scale().name]:
+        kwargs = scaled_kwargs(workload)
+        # Time-averaged queue lengths need continuous generation: a
+        # message cap would leave the tail of the window idle.
+        kwargs["max_messages"] = None
+        kwargs["duration_ms"] = min(kwargs["duration_ms"],
+                                    12.0 if workload == "W4" else
+                                    30.0 if workload == "W5" else 2.5)
+        cfg = ExperimentConfig(protocol="homa", workload=workload, load=0.8,
+                               collect=("queues",),
+                               **kwargs)
+        rows[workload] = run_experiment(cfg).queue_rows
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["== Table 1: switch egress queue lengths at 80% load "
+             "(KB; measured vs paper) =="]
+    for workload, levels in rows.items():
+        lines.append(f"  {workload}:")
+        for stats in levels:
+            paper = TABLE1.get(workload, {}).get(stats.label)
+            ref = (f"paper mean {paper[0]:>5.1f} max {paper[1]:>6.1f}"
+                   if paper else "")
+            lines.append(f"    {stats.label:<10} mean {stats.mean_kb:>6.1f} "
+                         f"max {stats.max_kb:>7.1f}   {ref}")
+    lines.append("")
+    lines.append("paper: core queues ~1-2 KB mean; TOR->host up to "
+                 "~17 KB mean / 146 KB max; buffering bounded by "
+                 "overcommitment x RTTbytes")
+    return "\n".join(lines)
+
+
+def test_table1_queue_lengths(benchmark):
+    rows = run_once(benchmark, lambda: cached("table1", run_campaign))
+    save_result("table1_queue_lengths", render(rows))
+    for workload, levels in rows.items():
+        by_label = {s.label: s for s in levels}
+        # Downlinks hold the queues; the core stays nearly empty.
+        assert by_label["TOR->host"].mean_kb >= by_label["TOR->Aggr"].mean_kb
+        # Homa's bound: max queue stays within ~2x the paper's 146 KB
+        # worst case (overcommitment x RTTbytes + unscheduled bursts).
+        assert by_label["TOR->host"].max_kb < 300

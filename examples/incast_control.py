@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Incast: a client scatters RPCs to 15 servers and gathers responses.
+
+Reproduces the Figure 10 scenario on a 16-host single-switch cluster:
+every RPC has a tiny request and a 10 KB response, and the client keeps
+N RPCs outstanding.  Without incast control, all N responses arrive
+blind (unscheduled) and overflow the client's TOR downlink buffer; with
+Homa's incast control the client marks its requests once it has many
+RPCs outstanding, servers limit responses to a few hundred unscheduled
+bytes, and the receiver's grant scheduler paces the rest.
+
+Run:  python examples/incast_control.py
+"""
+
+from repro.apps.echo import echo_handler
+from repro.apps.incast import IncastClient
+from repro.core.engine import Simulator
+from repro.core.topology import NetworkConfig, build_network
+from repro.core.units import MS
+from repro.homa.config import HomaConfig
+from repro.transport.registry import transport_factory
+from repro.workloads.catalog import get_workload
+
+
+def run(concurrency: int, control: bool) -> tuple[float, int]:
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(
+        racks=1, hosts_per_rack=16, aggrs=0,
+        port_buffer_bytes=3_000_000))  # a shallow shared-buffer switch
+    factory = transport_factory("homa", sim, net, get_workload("W3").cdf,
+                                HomaConfig(incast_control=control))
+    transports = net.attach_transports(lambda host: factory(host))
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+
+    client = IncastClient(sim, transports[0], list(range(1, 16)),
+                          concurrency)
+    sim.run(until_ps=5 * MS)       # warm up
+    client.response_bytes_received = 0
+    client.started_ps = sim.now
+    sim.run(until_ps=15 * MS)      # measure 10 ms
+    drops = sum(port.drops for port in net.tor_down_ports)
+    return client.goodput_gbps(), drops
+
+
+def main() -> None:
+    print(f"{'concurrent RPCs':>16} | {'with control':>22} | "
+          f"{'without control':>22}")
+    print(f"{'':>16} | {'Gbps':>10} {'drops':>10} | "
+          f"{'Gbps':>10} {'drops':>10}")
+    print("-" * 70)
+    for concurrency in (10, 100, 300, 600, 1200):
+        on_gbps, on_drops = run(concurrency, control=True)
+        off_gbps, off_drops = run(concurrency, control=False)
+        print(f"{concurrency:>16} | {on_gbps:>10.2f} {on_drops:>10} | "
+              f"{off_gbps:>10.2f} {off_drops:>10}")
+    print("\npaper (Figure 10): control keeps throughput flat through "
+          "thousands of RPCs; without it, drops degrade throughput past "
+          "~300 concurrent RPCs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Priority planner: how Homa would configure itself for your workload.
+
+Feeds each of the paper's workloads (and one custom distribution)
+through Homa's receiver-side priority allocation (section 3.4 /
+Figure 4) and prints the resulting unscheduled/scheduled split and the
+per-level message-size ranges.
+
+Run:  python examples/priority_planner.py
+"""
+
+from repro.homa.priorities import allocate_priorities
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.distributions import EmpiricalCDF
+
+RTT_BYTES = 9680
+UNSCHED_LIMIT = 10220  # RTTbytes rounded up to whole packets
+
+
+def describe(name: str, cdf: EmpiricalCDF) -> None:
+    alloc = allocate_priorities(cdf, UNSCHED_LIMIT)
+    fraction = cdf.mean_truncated(UNSCHED_LIMIT) / cdf.mean()
+    print(f"{name}: mean message {cdf.mean():,.0f} B, "
+          f"{fraction * 100:.0f}% of bytes unscheduled")
+    print(f"  -> {alloc.n_unsched} unscheduled levels "
+          f"(P{alloc.unsched_levels[0]}-P{alloc.unsched_levels[-1]}), "
+          f"{alloc.n_sched} scheduled (P{alloc.sched_levels[0]}-"
+          f"P{alloc.sched_levels[-1]})")
+    lo = 1
+    for level, cutoff in zip(reversed(alloc.unsched_levels), alloc.cutoffs):
+        print(f"     P{level}: unscheduled bytes of messages "
+              f"{lo:,}-{cutoff:,} B")
+        lo = cutoff + 1
+    print()
+
+
+def main() -> None:
+    print("Homa receiver priority allocation "
+          f"(8 levels, unscheduled limit {UNSCHED_LIMIT} B)\n")
+    for key, workload in WORKLOADS.items():
+        describe(f"{key} ({workload.description})", workload.cdf)
+
+    print("a custom workload: your own storage system's RPC sizes")
+    custom = EmpiricalCDF(
+        [(0.0, 64), (0.3, 256), (0.6, 1024), (0.85, 4096),
+         (0.97, 65536), (1.0, 1_048_576)],
+        name="custom-storage")
+    describe("custom", custom)
+    print("(paper: W1 gets 7 unscheduled levels, W2 6, W3 4, W4/W5 1 — "
+          "matching Figure 4 and section 5.2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""A TCP-like ordered byte stream implemented over Homa (section 3.1).
+
+The paper leaves a socket-like interface as future work but sketches
+how: "a very thin layer on top of Homa that discards duplicate data and
+preserves order."  This example runs that layer and shows it preserving
+order even though Homa itself completes messages SRPT-first — and shows
+that, unlike a real TCP stream, a small independent Homa message is
+never stuck behind the stream's bulk data.
+
+Run:  python examples/stream_over_homa.py
+"""
+
+from repro.core.engine import Simulator
+from repro.core.topology import NetworkConfig, build_network
+from repro.core.units import MS
+from repro.homa.config import HomaConfig
+from repro.homa.stream_adapter import StreamOverHoma
+from repro.transport.registry import transport_factory
+from repro.workloads.catalog import get_workload
+
+
+def main() -> None:
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=4,
+                                           aggrs=0))
+    factory = transport_factory("homa", sim, net, get_workload("W3").cdf,
+                                HomaConfig())
+    transports = net.attach_transports(lambda host: factory(host))
+
+    tx = StreamOverHoma(transports[0])
+    rx = StreamOverHoma(transports[1])
+
+    delivered = []
+    stream = tx.open(peer=1)
+    rx.listen(stream.stream_id,
+              lambda seq, size: delivered.append(
+                  f"  chunk {seq} ({size:>7} B) delivered at "
+                  f"{sim.now / 1e6:9.1f} us"))
+
+    # A bulk transfer interleaved with small chunks.
+    for size in (800_000, 120, 64, 400_000, 2_000):
+        stream.write(size)
+
+    # Meanwhile an unrelated tiny RPC-style message shares the link.
+    side_channel = []
+    transports[2].on_message_complete = (
+        lambda msg, now: side_channel.append(now / 1e6))
+    transports[0].send_message(2, 96)
+
+    sim.run(until_ps=50 * MS)
+
+    print("ordered stream delivery (note: Homa completed the small "
+          "chunks' messages first internally — the adapter reorders):")
+    print("\n".join(delivered))
+    print(f"\nindependent 96 B message to another host completed at "
+          f"{side_channel[0]:.1f} us — it did NOT wait for the 800 KB "
+          f"chunk (no head-of-line blocking across messages)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — packet-level reproduction of Homa (SIGCOMM 2018).
+
+Public API surface; see README.md for a tour and DESIGN.md for the
+system inventory.
+"""
+
+from repro.core import (
+    Network,
+    NetworkConfig,
+    Packet,
+    PacketType,
+    Simulator,
+    build_network,
+)
+from repro.homa import HomaConfig, HomaTransport, allocate_priorities
+from repro.workloads import WORKLOADS, Workload, get_workload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "NetworkConfig",
+    "build_network",
+    "Packet",
+    "PacketType",
+    "HomaConfig",
+    "HomaTransport",
+    "allocate_priorities",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``       — one simulation (protocol x workload x load), slowdown table
+* ``workloads`` — list the built-in workloads
+* ``alloc``     — show Homa's priority allocation for a workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.tables import kv_table, series_table
+from repro.homa.priorities import allocate_priorities
+from repro.transport.registry import PROTOCOLS
+from repro.workloads.catalog import WORKLOADS, get_workload
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        protocol=args.protocol,
+        workload=args.workload.upper(),
+        load=args.load,
+        racks=args.racks,
+        hosts_per_rack=args.hosts_per_rack,
+        aggrs=args.aggrs,
+        duration_ms=args.duration_ms,
+        warmup_ms=args.warmup_ms,
+        drain_ms=args.drain_ms,
+        max_messages=args.max_messages,
+        seed=args.seed,
+        mode="rpc_echo" if args.rpc else "oneway",
+    )
+    result = run_experiment(cfg)
+    edges = result.bucket_edges()
+    print(series_table(
+        f"{cfg.protocol} / {cfg.workload} @ {int(cfg.load * 100)}% load",
+        edges,
+        {"p50": result.tracker.series(edges, 50),
+         "p99": result.tracker.series(edges, 99)}))
+    print(kv_table("run summary", [
+        ("messages measured", str(result.tracker.count)),
+        ("submitted / completed", f"{result.submitted} / {result.completed}"),
+        ("finish rate", f"{result.finish_rate:.3f}"),
+        ("overall p50 slowdown", f"{result.tracker.overall(50):.2f}"),
+        ("overall p99 slowdown", f"{result.tracker.overall(99):.2f}"),
+        ("events simulated", f"{result.events:,}"),
+        ("wall time", f"{result.wall_seconds:.1f}s"),
+    ]))
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for key, workload in WORKLOADS.items():
+        print(f"{key}: {workload.description}")
+        print(f"    mean {workload.cdf.mean():,.0f} B, "
+              f"range {workload.cdf.min_bytes()}-"
+              f"{workload.cdf.max_bytes():,} B, "
+              f"deciles {workload.deciles}")
+    return 0
+
+
+def _cmd_alloc(args: argparse.Namespace) -> int:
+    workload = get_workload(args.workload)
+    alloc = allocate_priorities(workload.cdf, args.unsched_limit,
+                                n_prios=args.prios)
+    print(f"{workload.key}: {alloc.n_unsched} unscheduled + "
+          f"{alloc.n_sched} scheduled priority levels")
+    lo = 1
+    for level, cutoff in zip(reversed(alloc.unsched_levels), alloc.cutoffs):
+        print(f"  P{level}: unscheduled bytes of messages {lo:,}-{cutoff:,} B")
+        lo = cutoff + 1
+    print(f"  P{alloc.sched_levels[0]}-P{alloc.sched_levels[-1]}: "
+          f"scheduled packets (assigned per-message by receivers)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Homa (SIGCOMM 2018) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--protocol", choices=PROTOCOLS, default="homa")
+    run.add_argument("--workload", default="W3")
+    run.add_argument("--load", type=float, default=0.8)
+    run.add_argument("--racks", type=int, default=3)
+    run.add_argument("--hosts-per-rack", type=int, default=8)
+    run.add_argument("--aggrs", type=int, default=2)
+    run.add_argument("--duration-ms", type=float, default=5.0)
+    run.add_argument("--warmup-ms", type=float, default=0.5)
+    run.add_argument("--drain-ms", type=float, default=10.0)
+    run.add_argument("--max-messages", type=int, default=None)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--rpc", action="store_true",
+                     help="echo-RPC mode instead of one-way messages")
+    run.set_defaults(fn=_cmd_run)
+
+    workloads = sub.add_parser("workloads", help="list built-in workloads")
+    workloads.set_defaults(fn=_cmd_workloads)
+
+    alloc = sub.add_parser("alloc", help="show priority allocation")
+    alloc.add_argument("workload")
+    alloc.add_argument("--prios", type=int, default=8)
+    alloc.add_argument("--unsched-limit", type=int, default=10220)
+    alloc.set_defaults(fn=_cmd_alloc)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Open-loop one-way message generation (the section 5.2 experiments).
+
+"New messages are created at senders according to a Poisson process;
+the size of each message is chosen from one of the workloads in Figure
+1, and the destination for the message is chosen uniformly at random."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import Simulator
+from repro.core.topology import Network
+from repro.workloads.distributions import EmpiricalCDF
+
+
+class OpenLoopSender:
+    """Poisson generator of one-way messages from one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport,
+        peers: list[int],
+        cdf: EmpiricalCDF,
+        rate_per_sec: float,
+        *,
+        seed: int,
+        stop_ps: int,
+        max_messages: int | None = None,
+        delay_tracker=None,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.peers = peers
+        self.cdf = cdf
+        self.mean_ia_ps = 1e12 / rate_per_sec
+        self.rng = np.random.default_rng(seed)
+        self.stop_ps = stop_ps
+        self.max_messages = max_messages
+        self.delay_tracker = delay_tracker
+        self.submitted = 0
+        self.submitted_bytes = 0
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = int(self.rng.exponential(self.mean_ia_ps)) + 1
+        if self.sim.now + delay >= self.stop_ps:
+            return
+        if self.max_messages is not None and self.submitted >= self.max_messages:
+            return
+        self.sim.schedule(delay, self._send)
+
+    def _send(self) -> None:
+        size = self.cdf.sample_one(self.rng)
+        dst = self.peers[self.rng.integers(len(self.peers))]
+        msg = self.transport.send_message(dst, size)
+        self.submitted += 1
+        self.submitted_bytes += size
+        if self.delay_tracker is not None:
+            alloc = getattr(self.transport, "alloc", None)
+            prio = alloc.unsched_prio(size) if alloc is not None else 0
+            self.delay_tracker.on_submit(self.transport.host, msg.key,
+                                         size, prio)
+        self._schedule_next()
+
+
+def attach_openloop_workload(
+    net: Network,
+    transports,
+    cdf: EmpiricalCDF,
+    rate_per_sec: float,
+    *,
+    stop_ps: int,
+    seed: int = 1,
+    max_messages_total: int | None = None,
+    delay_tracker=None,
+) -> list[OpenLoopSender]:
+    """One generator per host, all-to-all uniform destinations."""
+    n = len(net.hosts)
+    per_host_cap = None
+    if max_messages_total is not None:
+        per_host_cap = max(1, max_messages_total // n)
+    senders = []
+    for host, transport in zip(net.hosts, transports):
+        peers = [h for h in range(n) if h != host.hid]
+        senders.append(OpenLoopSender(
+            net.sim, transport, peers, cdf, rate_per_sec,
+            seed=seed * 100_003 + host.hid, stop_ps=stop_ps,
+            max_messages=per_host_cap, delay_tracker=delay_tracker))
+    return senders

@@ -1,0 +1,244 @@
+"""NDP (Handley et al., SIGCOMM 2017).
+
+"NDP uses only two priority levels with static assignment ... does not
+use SRPT; its receivers use a fair-share scheduling policy ... NDP
+senders do not prioritize their transmit queues" (sections 2.2/5.2/7).
+
+Mechanics reproduced here:
+
+* senders blast the first window (one BDP) blindly at low priority;
+* switches trim packets to headers when a data queue exceeds 8 full
+  packets (``trim_bytes`` in the network config); trimmed headers ride
+  the high-priority queue;
+* receivers NACK trimmed headers (sender queues a retransmission) and
+  pace PULL packets at the downlink rate, round-robin across active
+  flows — fair sharing, not SRPT;
+* every delivered data packet is ACKed.
+
+As in the paper, NDP is only exercised with workload W5, where all
+packets are full size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import (
+    CTRL_PRIO,
+    FULL_WIRE,
+    MAX_PAYLOAD,
+    Packet,
+    PacketType,
+)
+from repro.core.units import ps_per_byte
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, OutboundMessage
+
+#: low priority for data packets; control/trimmed headers use CTRL_PRIO
+DATA_PRIO = 0
+
+
+class _NdpFlow:
+    """Sender-side state: pull allowance plus a retransmission queue."""
+
+    __slots__ = ("msg", "pull_budget", "rtx")
+
+    def __init__(self, msg: OutboundMessage) -> None:
+        self.msg = msg
+        self.pull_budget = 0
+        self.rtx: deque[tuple[int, int]] = deque()
+
+    def sendable(self) -> bool:
+        if self.rtx and self.pull_budget > 0:
+            return True
+        blind = self.msg.sent < min(self.msg.unsched_limit, self.msg.length)
+        if blind:
+            return True
+        return self.pull_budget > 0 and self.msg.sent < self.msg.length
+
+
+class NdpTransport(Transport):
+    """NDP sender+receiver (requires trimming-enabled switch ports)."""
+
+    protocol_name = "ndp"
+
+    def __init__(self, sim: Simulator, *, rtt_bytes: int, host_gbps: int = 10) -> None:
+        super().__init__(sim)
+        self.first_window = -(-rtt_bytes // MAX_PAYLOAD) * MAX_PAYLOAD
+        self.pull_interval_ps = FULL_WIRE * ps_per_byte(host_gbps)
+        self.flows: dict[int, _NdpFlow] = {}
+        self.inbound: dict[int, InboundMessage] = {}
+        # Receiver pull ring: flow keys needing pulls, round robin.
+        self._pull_ring: deque[int] = deque()
+        self._pulls_issued: dict[int, int] = {}  # key -> bytes pulled
+        self._pacer = None
+        self.nacks_received = 0
+        self.pulls_sent = 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst: int, length: int, **kwargs) -> OutboundMessage:
+        msg = OutboundMessage(self.sim.new_id(), True, self.hid, dst, length,
+                              unsched_limit=self.first_window,
+                              created_ps=self.sim.now)
+        self.flows[msg.key] = _NdpFlow(msg)
+        self.kick()
+        return msg
+
+    def _next_data(self) -> Optional[Packet]:
+        # FIFO across flows (NDP senders do not prioritize: the paper
+        # calls out the resulting head-of-line blocking).
+        for flow in self.flows.values():
+            if not flow.sendable():
+                continue
+            return self._emit(flow)
+        return None
+
+    def _emit(self, flow: _NdpFlow) -> Packet:
+        msg = flow.msg
+        if flow.rtx and flow.pull_budget > 0:
+            flow.pull_budget -= 1
+            offset, size = flow.rtx.popleft()
+            retx = True
+        elif msg.sent < min(msg.unsched_limit, msg.length):
+            offset = msg.sent
+            size = min(MAX_PAYLOAD, msg.length - offset)
+            msg.sent += size
+            retx = False
+        else:
+            flow.pull_budget -= 1
+            offset = msg.sent
+            size = min(MAX_PAYLOAD, msg.length - offset)
+            msg.sent += size
+            retx = False
+        if msg.sent >= msg.length and not flow.rtx:
+            # State stays for NACK handling until fully acked; NDP keeps
+            # it simple here: drop when nothing further can be asked.
+            pass
+        return Packet(
+            self.hid, msg.dst, PacketType.DATA, prio=DATA_PRIO,
+            payload=size, rpc_id=msg.rpc_id, is_request=True,
+            offset=offset, total_length=msg.length, retx=retx,
+            created_ps=msg.created_ps)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketType.DATA:
+            if pkt.trimmed:
+                self._on_trimmed(pkt)
+            else:
+                self._on_data(pkt)
+        elif pkt.kind == PacketType.PULL:
+            self._on_pull(pkt)
+        elif pkt.kind == PacketType.NACK:
+            self._on_nack(pkt)
+        elif pkt.kind == PacketType.ACK:
+            self._on_ack(pkt)
+
+    def _register_inbound(self, pkt: Packet) -> InboundMessage:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
+                                 pkt.total_length, now_ps=self.sim.now)
+            msg.created_ps = pkt.created_ps
+            self.inbound[key] = msg
+            self._pulls_issued[key] = min(pkt.total_length, self.first_window)
+            if self._pulls_issued[key] < pkt.total_length:
+                self._pull_ring.append(key)
+                self._ensure_pacer()
+        return msg
+
+    def _on_trimmed(self, pkt: Packet) -> None:
+        """A header survived where the payload was cut: NACK it so the
+        sender retransmits when pulled."""
+        msg = self._register_inbound(pkt)
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.NACK, prio=CTRL_PRIO,
+            rpc_id=pkt.rpc_id, is_request=True,
+            offset=pkt.offset, range_end=pkt.offset + MAX_PAYLOAD))
+        # The trimmed bytes must be re-pulled.
+        key = msg.key
+        self._pulls_issued[key] = max(
+            0, self._pulls_issued.get(key, 0) - MAX_PAYLOAD)
+        if key not in self._pull_ring:
+            self._pull_ring.append(key)
+        self._ensure_pacer()
+
+    def _on_data(self, pkt: Packet) -> None:
+        msg = self._register_inbound(pkt)
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.ACK, prio=CTRL_PRIO,
+            rpc_id=pkt.rpc_id, is_request=True, offset=pkt.offset))
+        if msg.is_complete():
+            key = msg.key
+            del self.inbound[key]
+            self._pulls_issued.pop(key, None)
+            try:
+                self._pull_ring.remove(key)
+            except ValueError:
+                pass
+            self._report_complete(msg)
+
+    def _on_pull(self, pkt: Packet) -> None:
+        flow = self.flows.get(pkt.msg_key)
+        if flow is None:
+            return
+        flow.pull_budget += 1
+        self.kick()
+
+    def _on_nack(self, pkt: Packet) -> None:
+        flow = self.flows.get(pkt.msg_key)
+        if flow is None:
+            return
+        self.nacks_received += 1
+        size = min(MAX_PAYLOAD, flow.msg.length - pkt.offset)
+        flow.rtx.append((pkt.offset, size))
+        self.kick()
+
+    def _on_ack(self, pkt: Packet) -> None:
+        flow = self.flows.get(pkt.msg_key)
+        if flow is None:
+            return
+        flow.msg.acked.add(pkt.offset, min(pkt.offset + MAX_PAYLOAD,
+                                           flow.msg.length))
+        if flow.msg.acked.total >= flow.msg.length:
+            del self.flows[flow.msg.key]
+
+    # ------------------------------------------------------------------
+    # receiver pull pacing (fair share round robin)
+    # ------------------------------------------------------------------
+
+    def _ensure_pacer(self) -> None:
+        if self._pacer is not None and Simulator.is_pending(self._pacer):
+            return
+        if self._pull_ring:
+            self._pacer = self.sim.schedule(self.pull_interval_ps, self._pace)
+
+    def _pace(self) -> None:
+        self._pacer = None
+        while self._pull_ring:
+            key = self._pull_ring.popleft()
+            msg = self.inbound.get(key)
+            if msg is None:
+                continue
+            issued = self._pulls_issued.get(key, 0)
+            if issued >= msg.length:
+                continue  # fully pulled; completion removes state
+            self._pulls_issued[key] = issued + MAX_PAYLOAD
+            if self._pulls_issued[key] < msg.length:
+                self._pull_ring.append(key)  # stay in the fair-share ring
+            self.pulls_sent += 1
+            self.send_ctrl(Packet(
+                self.hid, msg.src, PacketType.PULL, prio=CTRL_PRIO,
+                rpc_id=msg.rpc_id, is_request=True))
+            break
+        self._ensure_pacer()

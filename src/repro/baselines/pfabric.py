@@ -1,0 +1,220 @@
+"""pFabric (Alizadeh et al., SIGCOMM 2013).
+
+"pFabric approximates SRPT accurately, but it requires too many
+priority levels to implement with today's switches" (section 2.2).
+
+Mechanics reproduced here:
+
+* each packet carries a fine-grained priority equal to the message's
+  remaining bytes at send time; switches (``PfabricPort``) dequeue the
+  most urgent packet and drop the least urgent on overflow;
+* switch buffers are tiny (~2 bandwidth-delay products);
+* senders transmit at line rate with one BDP in flight per message,
+  relying on drops for congestion signalling;
+* per-packet ACKs; timeout-driven retransmission with a short RTO;
+  probe mode after repeated timeouts so a starved flow doesn't hammer
+  the fabric with full-size packets.
+
+The paper notes pFabric wastes bandwidth because dropped packets must
+be retransmitted — that emerges naturally here (Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import MAX_PAYLOAD, Packet, PacketType
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, Intervals, OutboundMessage
+
+#: consecutive timeouts before a flow enters probe mode
+PROBE_AFTER = 5
+
+
+class _PfabricFlow:
+    """Sender-side per-message state."""
+
+    __slots__ = ("msg", "unacked", "timeouts", "probing", "next_new")
+
+    def __init__(self, msg: OutboundMessage) -> None:
+        self.msg = msg
+        self.unacked: dict[int, tuple[int, int]] = {}  # offset -> (size, sent_ps)
+        self.timeouts = 0
+        self.probing = False
+        self.next_new = 0  # next fresh byte offset to send
+
+    def remaining_to_ack(self) -> int:
+        return self.msg.length - self.msg.acked.total
+
+    def window_room(self, window: int) -> bool:
+        return self.msg.in_flight < window
+
+    def has_new_bytes(self) -> bool:
+        return self.next_new < self.msg.length
+
+
+class PfabricTransport(Transport):
+    """pFabric sender+receiver (requires ``queue_mode='pfabric'``)."""
+
+    protocol_name = "pfabric"
+
+    def __init__(self, sim: Simulator, *, rtt_bytes: int, rtt_ps: int) -> None:
+        super().__init__(sim)
+        self.window = rtt_bytes              # one BDP in flight per flow
+        self.rto_ps = 3 * rtt_ps             # pFabric uses a small RTO
+        self.flows: dict[int, _PfabricFlow] = {}
+        self.inbound: dict[int, InboundMessage] = {}
+        self._rtx_queue: list[tuple[_PfabricFlow, int, int]] = []
+        self._timer = None
+        self.retransmissions = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst: int, length: int, **kwargs) -> OutboundMessage:
+        msg = OutboundMessage(self.sim.new_id(), True, self.hid, dst, length,
+                              unsched_limit=length, created_ps=self.sim.now)
+        self.flows[msg.key] = _PfabricFlow(msg)
+        self._ensure_timer()
+        self.kick()
+        return msg
+
+    def _next_data(self) -> Optional[Packet]:
+        # Retransmissions first (they are the most urgent by SRPT since
+        # their flows have the least un-acked data left).
+        while self._rtx_queue:
+            flow, offset, size = self._rtx_queue.pop(0)
+            if flow.msg.key not in self.flows:
+                continue
+            if flow.msg.acked.covers(offset, offset + size):
+                continue
+            self.retransmissions += 1
+            return self._data_packet(flow, offset, size, retx=True)
+        best: Optional[_PfabricFlow] = None
+        best_rank = None
+        for flow in self.flows.values():
+            if flow.probing or not flow.has_new_bytes():
+                continue
+            if not flow.window_room(self.window):
+                continue
+            rank = (flow.remaining_to_ack(), flow.msg.created_ps)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = flow, rank
+        if best is None:
+            return None
+        offset = best.next_new
+        size = min(MAX_PAYLOAD, best.msg.length - offset)
+        best.next_new += size
+        return self._data_packet(best, offset, size, retx=False)
+
+    def _data_packet(self, flow: _PfabricFlow, offset: int, size: int,
+                     *, retx: bool) -> Packet:
+        msg = flow.msg
+        msg.in_flight += size
+        flow.unacked[offset] = (size, self.sim.now)
+        return Packet(
+            self.hid, msg.dst, PacketType.DATA,
+            prio=0, fine_prio=flow.remaining_to_ack(),
+            payload=size, rpc_id=msg.rpc_id, is_request=True,
+            offset=offset, total_length=msg.length, retx=retx,
+            created_ps=msg.created_ps)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketType.DATA:
+            self._on_data(pkt)
+        elif pkt.kind == PacketType.ACK:
+            self._on_ack(pkt)
+        elif pkt.kind == PacketType.PROBE:
+            self._on_probe(pkt)
+
+    def _on_data(self, pkt: Packet) -> None:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
+                                 pkt.total_length, now_ps=self.sim.now)
+            msg.created_ps = pkt.created_ps
+            self.inbound[key] = msg
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        # ACKs carry fine priority 0: most urgent, never dropped first.
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.ACK, prio=7, fine_prio=0,
+            rpc_id=pkt.rpc_id, is_request=True,
+            offset=pkt.offset, range_end=pkt.payload))
+        if msg.is_complete():
+            del self.inbound[key]
+            self._report_complete(msg)
+
+    def _on_probe(self, pkt: Packet) -> None:
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.ACK, prio=7, fine_prio=0,
+            rpc_id=pkt.rpc_id, is_request=True, offset=-1, range_end=0))
+
+    def _on_ack(self, pkt: Packet) -> None:
+        flow = self.flows.get(pkt.msg_key)
+        if flow is None:
+            return
+        flow.timeouts = 0
+        if flow.probing:
+            flow.probing = False  # the path is live again
+        if pkt.offset >= 0:
+            entry = flow.unacked.pop(pkt.offset, None)
+            if entry is not None:
+                flow.msg.in_flight = max(0, flow.msg.in_flight - entry[0])
+            flow.msg.acked.add(pkt.offset, pkt.offset + pkt.range_end)
+            if flow.msg.acked.total >= flow.msg.length:
+                del self.flows[flow.msg.key]
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # retransmission timer
+    # ------------------------------------------------------------------
+
+    def _ensure_timer(self) -> None:
+        if self._timer is not None and Simulator.is_pending(self._timer):
+            return
+        if self.flows:
+            self._timer = self.sim.schedule(self.rto_ps // 2, self._check_timeouts)
+
+    def _check_timeouts(self) -> None:
+        self._timer = None
+        now = self.sim.now
+        for flow in list(self.flows.values()):
+            if not flow.unacked:
+                # Stall recovery: every transmission (including earlier
+                # retransmissions) was dropped and acknowledged nothing;
+                # resend the first missing range.
+                if (not flow.probing and not flow.has_new_bytes()
+                        and flow.msg.acked.total < flow.msg.length):
+                    gap = flow.msg.acked.first_gap(flow.msg.length)
+                    if gap is not None:
+                        size = min(MAX_PAYLOAD, gap[1] - gap[0])
+                        self._rtx_queue.append((flow, gap[0], size))
+                        self.kick()
+                continue
+            oldest_offset, (size, sent_ps) = min(
+                flow.unacked.items(), key=lambda item: item[1][1])
+            if now - sent_ps < self.rto_ps:
+                continue
+            flow.timeouts += 1
+            # The packet is presumed dropped: release its window share.
+            flow.unacked.pop(oldest_offset)
+            flow.msg.in_flight = max(0, flow.msg.in_flight - size)
+            if flow.timeouts >= PROBE_AFTER:
+                flow.probing = True
+                self.probes_sent += 1
+                self.send_ctrl(Packet(
+                    self.hid, flow.msg.dst, PacketType.PROBE, prio=0,
+                    fine_prio=flow.remaining_to_ack(),
+                    rpc_id=flow.msg.rpc_id, is_request=True))
+            else:
+                self._rtx_queue.append((flow, oldest_offset, size))
+                self.kick()
+        self._ensure_timer()

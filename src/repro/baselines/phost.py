@@ -1,0 +1,274 @@
+"""pHost (Gao et al., CoNEXT 2015) — the closest prior scheme to Homa.
+
+Receiver-driven packet scheduling like Homa, but (per the paper's
+characterization in sections 2.2 and 7):
+
+* only two statically assigned priority levels: RTS/tokens/unscheduled
+  data at high priority, all scheduled data at one low priority;
+* no overcommitment: the receiver paces tokens to a *single* sender at
+  a time (the shortest remaining flow), so an unresponsive sender
+  wastes downlink bandwidth until a timeout fires;
+* senders spend tokens SRPT-first, and tokens expire if unused.
+
+The wasted-bandwidth behaviour (pHost sustains only 58-73% load,
+Figure 15) emerges from the single-active-sender pacing plus token
+expiry, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import (
+    CTRL_PRIO,
+    FULL_WIRE,
+    MAX_PAYLOAD,
+    Packet,
+    PacketType,
+)
+from repro.core.units import ps_per_byte
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, OutboundMessage
+
+#: scheduled data priority (unscheduled + control use CTRL_PRIO)
+SCHED_PRIO = 0
+
+
+class _TokenBucket:
+    """Sender-side token budget for one message, with expiry."""
+
+    __slots__ = ("deadlines",)
+
+    def __init__(self) -> None:
+        self.deadlines: list[int] = []
+
+    def add(self, expiry_ps: int) -> None:
+        self.deadlines.append(expiry_ps)
+
+    def usable(self, now_ps: int) -> int:
+        self.deadlines = [d for d in self.deadlines if d >= now_ps]
+        return len(self.deadlines)
+
+    def spend(self) -> None:
+        self.deadlines.pop(0)
+
+
+class PHostTransport(Transport):
+    """pHost sender+receiver."""
+
+    protocol_name = "phost"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        rtt_bytes: int,
+        host_gbps: int = 10,
+        token_ttl_ps: int | None = None,
+        unresponsive_timeout_ps: int | None = None,
+        blacklist_ps: int | None = None,
+        rtt_ps: int = 7_744_000,
+    ) -> None:
+        super().__init__(sim)
+        self.rtt_bytes = rtt_bytes
+        self.unsched_limit = -(-rtt_bytes // MAX_PAYLOAD) * MAX_PAYLOAD
+        #: pacing interval: one token per full-packet time on the downlink
+        self.token_interval_ps = FULL_WIRE * ps_per_byte(host_gbps)
+        # pHost defaults expressed in our units: tokens live ~1.5 packet
+        # times beyond the round trip; a sender idle for a few packet
+        # times while holding tokens gets set aside for a while.
+        self.token_ttl_ps = token_ttl_ps or (rtt_ps + 3 * self.token_interval_ps)
+        self.unresponsive_timeout_ps = (unresponsive_timeout_ps
+                                        or 3 * self.token_interval_ps + rtt_ps)
+        self.blacklist_ps = blacklist_ps or 3 * rtt_ps
+        # Sender state.
+        self.outbound: dict[int, OutboundMessage] = {}
+        self.tokens: dict[int, _TokenBucket] = {}
+        # Receiver state.
+        self.inbound: dict[int, InboundMessage] = {}
+        self.tokens_issued: dict[int, int] = {}      # key -> bytes tokenized
+        self.last_data_ps: dict[int, int] = {}       # key -> last data time
+        self.token_grant_ps: dict[int, int] = {}     # key -> last token time
+        self.blacklisted_until: dict[int, int] = {}  # key -> time
+        self._pacer_event = None
+        self.tokens_sent = 0
+        self.tokens_expired = 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst: int, length: int, **kwargs) -> OutboundMessage:
+        msg = OutboundMessage(self.sim.new_id(), True, self.hid, dst, length,
+                              unsched_limit=self.unsched_limit,
+                              created_ps=self.sim.now)
+        self.outbound[msg.key] = msg
+        # RTS announces the message so the receiver can schedule tokens.
+        self.send_ctrl(Packet(
+            self.hid, dst, PacketType.RTS, prio=CTRL_PRIO,
+            rpc_id=msg.rpc_id, is_request=True, total_length=length,
+            created_ps=msg.created_ps))
+        self.kick()
+        return msg
+
+    def _next_data(self) -> Optional[Packet]:
+        now = self.sim.now
+        best: Optional[OutboundMessage] = None
+        best_key = None
+        best_tokens: Optional[_TokenBucket] = None
+        for msg in self.outbound.values():
+            bucket = self.tokens.get(msg.key)
+            has_token = bucket is not None and bucket.usable(now) > 0
+            blind = msg.sent < min(msg.unsched_limit, msg.length)
+            if not blind and not has_token:
+                continue
+            key = (msg.remaining, msg.created_ps)
+            if best_key is None or key < best_key:
+                best, best_key = msg, key
+                best_tokens = bucket if (has_token and not blind) else None
+        if best is None:
+            return None
+        if best_tokens is not None:
+            best_tokens.spend()
+            best.granted = max(best.granted,
+                               min(best.length, best.sent + MAX_PAYLOAD))
+        chunk = best.next_chunk()
+        if chunk is None:  # token arrived for already-sent bytes
+            return self._next_data_retry(best)
+        offset, size, is_rtx = chunk
+        prio = CTRL_PRIO if offset < best.unsched_limit else SCHED_PRIO
+        pkt = Packet(self.hid, best.dst, PacketType.DATA, prio=prio,
+                     payload=size, rpc_id=best.rpc_id, is_request=True,
+                     offset=offset, total_length=best.length, retx=is_rtx,
+                     sched=offset >= best.unsched_limit,
+                     grant_offset=min(best.length, best.unsched_limit),
+                     created_ps=best.created_ps)
+        if best.fully_sent():
+            del self.outbound[best.key]
+            self.tokens.pop(best.key, None)
+        return pkt
+
+    def _next_data_retry(self, skip: OutboundMessage) -> Optional[Packet]:
+        if skip.fully_sent():
+            self.outbound.pop(skip.key, None)
+            self.tokens.pop(skip.key, None)
+        return None
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketType.DATA:
+            self._on_data(pkt)
+        elif pkt.kind == PacketType.RTS:
+            self._on_rts(pkt)
+        elif pkt.kind == PacketType.TOKEN:
+            self._on_token(pkt)
+
+    def _register_inbound(self, pkt: Packet) -> InboundMessage:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
+                                 pkt.total_length, now_ps=self.sim.now)
+            msg.created_ps = pkt.created_ps
+            self.inbound[key] = msg
+            self.tokens_issued[key] = min(pkt.total_length, self.unsched_limit)
+            self.last_data_ps[key] = self.sim.now
+        return msg
+
+    def _on_rts(self, pkt: Packet) -> None:
+        self._register_inbound(pkt)
+        self._ensure_pacer()
+
+    def _on_data(self, pkt: Packet) -> None:
+        msg = self._register_inbound(pkt)
+        self.last_data_ps[msg.key] = self.sim.now
+        self.blacklisted_until.pop(msg.key, None)
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if msg.is_complete():
+            key = msg.key
+            del self.inbound[key]
+            self.tokens_issued.pop(key, None)
+            self.last_data_ps.pop(key, None)
+            self.token_grant_ps.pop(key, None)
+            self._report_complete(msg)
+        self._ensure_pacer()
+
+    def _on_token(self, pkt: Packet) -> None:
+        bucket = self.tokens.get(pkt.msg_key)
+        if bucket is None:
+            bucket = _TokenBucket()
+            self.tokens[pkt.msg_key] = bucket
+        bucket.add(self.sim.now + self.token_ttl_ps)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # receiver token pacing (one token per packet time, single flow)
+    # ------------------------------------------------------------------
+
+    def _ensure_pacer(self) -> None:
+        if self._pacer_event is not None and Simulator.is_pending(self._pacer_event):
+            return
+        if self._pick_flow() is not None:
+            self._pacer_event = self.sim.schedule(
+                self.token_interval_ps, self._pace_token)
+            return
+        # All flows needing tokens may be blacklisted: wake at expiry.
+        now = self.sim.now
+        expiries = [
+            until for key, until in self.blacklisted_until.items()
+            if until > now and key in self.inbound
+            and self.tokens_issued.get(key, 0) < self.inbound[key].length
+        ]
+        if expiries:
+            delay = max(self.token_interval_ps, min(expiries) - now)
+            self._pacer_event = self.sim.schedule(delay, self._pace_token)
+
+    def _pick_flow(self) -> Optional[InboundMessage]:
+        """Shortest remaining flow that still needs tokens and is not
+        blacklisted for unresponsiveness."""
+        now = self.sim.now
+        best = None
+        best_key = None
+        for msg in self.inbound.values():
+            key = msg.key
+            if self.tokens_issued.get(key, 0) >= msg.length:
+                continue
+            until = self.blacklisted_until.get(key)
+            if until is not None and now < until:
+                continue
+            rank = (msg.bytes_remaining, msg.first_arrival_ps)
+            if best_key is None or rank < best_key:
+                best, best_key = msg, rank
+        return best
+
+    def _pace_token(self) -> None:
+        self._pacer_event = None
+        now = self.sim.now
+        # Unresponsiveness check: tokens issued but no data arriving.
+        for msg in self.inbound.values():
+            key = msg.key
+            issued = self.tokens_issued.get(key, 0)
+            granted_ahead = issued - msg.bytes_received
+            if (granted_ahead > 0
+                    and now - self.last_data_ps.get(key, now)
+                    > self.unresponsive_timeout_ps
+                    and key not in self.blacklisted_until):
+                self.blacklisted_until[key] = now + self.blacklist_ps
+                self.tokens_expired += 1
+        flow = self._pick_flow()
+        if flow is None:
+            self._ensure_pacer()
+            return
+        key = flow.key
+        self.tokens_issued[key] = min(
+            flow.length, self.tokens_issued.get(key, 0) + MAX_PAYLOAD)
+        self.token_grant_ps[key] = now
+        self.tokens_sent += 1
+        self.send_ctrl(Packet(
+            self.hid, flow.src, PacketType.TOKEN, prio=CTRL_PRIO,
+            rpc_id=flow.rpc_id, is_request=True))
+        self._ensure_pacer()

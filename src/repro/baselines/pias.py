@@ -1,0 +1,247 @@
+"""PIAS (Bai et al., NSDI 2015): information-agnostic flow scheduling.
+
+"PIAS works with a limited number of priorities, but it assigns
+priorities on senders, which limits its ability to approximate SRPT ...
+it uses a multi-level queue scheduling policy" (section 2.2).
+
+Mechanics reproduced here:
+
+* sender-side multi-level feedback queue: a message starts at the
+  highest priority and is demoted as its transmitted bytes cross the
+  workload-tuned thresholds (computed offline to balance bytes per
+  level, mirroring PIAS's threshold optimization);
+* underneath, a DCTCP-style congestion control: per-flow window, ECN
+  marks echoed in ACKs, multiplicative backoff proportional to the
+  marked fraction (the alpha estimator), slow start, and a
+  retransmission timeout;
+* flows on a host share the NIC round-robin — no SRPT at the sender,
+  because PIAS is information-agnostic by design.
+
+The paper's observation that "congestion led to ECN-induced backoff in
+workload W4, resulting in slowdowns of 20 or more" emerges from the
+DCTCP layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import MAX_PAYLOAD, N_PRIORITIES, Packet, PacketType
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, OutboundMessage
+from repro.workloads.distributions import EmpiricalCDF
+
+#: DCTCP gain for the alpha estimator
+DCTCP_G = 1.0 / 16.0
+#: initial window (10 full packets, as in DCTCP deployments)
+INIT_CWND = 10 * MAX_PAYLOAD
+
+
+def pias_thresholds(cdf: EmpiricalCDF, n_prios: int = N_PRIORITIES) -> tuple[int, ...]:
+    """Demotion thresholds balancing transmitted bytes across levels.
+
+    PIAS derives thresholds from the workload's flow size distribution;
+    equalizing the per-level byte volume is the same objective Homa uses
+    for unscheduled cutoffs, so we reuse that machinery with an infinite
+    cap (every byte of every message passes through the MLFQ).
+    """
+    from repro.homa.priorities import compute_cutoffs
+
+    return compute_cutoffs(cdf, n_prios, cdf.max_bytes())
+
+
+class _PiasFlow:
+    """Sender-side DCTCP state for one message."""
+
+    __slots__ = ("msg", "cwnd", "ssthresh", "alpha", "acked_prefix",
+                 "window_sent", "window_marked", "window_end",
+                 "dup_acks", "last_send_ps", "recovery_until")
+
+    def __init__(self, msg: OutboundMessage) -> None:
+        self.msg = msg
+        self.cwnd = float(INIT_CWND)
+        self.ssthresh = float(1 << 40)
+        self.alpha = 0.0
+        self.acked_prefix = 0
+        self.window_sent = 0
+        self.window_marked = 0
+        self.window_end = INIT_CWND
+        self.dup_acks = 0
+        self.last_send_ps = 0
+        self.recovery_until = 0
+
+    def can_send(self) -> bool:
+        return (self.msg.sent - self.acked_prefix < self.cwnd
+                and self.msg.sent < self.msg.length)
+
+
+class PiasTransport(Transport):
+    """PIAS = MLFQ priorities + DCTCP congestion control."""
+
+    protocol_name = "pias"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        thresholds: tuple[int, ...],
+        rtt_ps: int,
+        min_rto_ps: int | None = None,
+    ) -> None:
+        super().__init__(sim)
+        self.thresholds = thresholds
+        self.rto_ps = min_rto_ps or max(20 * rtt_ps, 200_000_000)  # >=200 us
+        self.flows: dict[int, _PiasFlow] = {}
+        self._rr: list[int] = []  # round-robin order of flow keys
+        self.inbound: dict[int, InboundMessage] = {}
+        self._timer = None
+        self.retransmissions = 0
+        self.backoffs = 0
+
+    # ------------------------------------------------------------------
+    # MLFQ priority
+    # ------------------------------------------------------------------
+
+    def _prio_for(self, bytes_sent: int) -> int:
+        """Highest priority first, demoted as bytes_sent crosses
+        thresholds (PIAS table lookup)."""
+        for index, threshold in enumerate(self.thresholds):
+            if bytes_sent < threshold:
+                return N_PRIORITIES - 1 - index
+        return 0
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst: int, length: int, **kwargs) -> OutboundMessage:
+        msg = OutboundMessage(self.sim.new_id(), True, self.hid, dst, length,
+                              unsched_limit=length, created_ps=self.sim.now)
+        flow = _PiasFlow(msg)
+        self.flows[msg.key] = flow
+        self._rr.append(msg.key)
+        self._ensure_timer()
+        self.kick()
+        return msg
+
+    def _next_data(self) -> Optional[Packet]:
+        # Round-robin across flows with window room (no SRPT: PIAS is
+        # information-agnostic at the sender).
+        for _ in range(len(self._rr)):
+            key = self._rr.pop(0)
+            flow = self.flows.get(key)
+            if flow is None:
+                continue
+            self._rr.append(key)
+            if flow.can_send():
+                return self._emit(flow)
+        return None
+
+    def _emit(self, flow: _PiasFlow) -> Packet:
+        msg = flow.msg
+        offset = msg.sent
+        size = min(MAX_PAYLOAD, msg.length - offset,
+                   max(1, int(flow.cwnd - (msg.sent - flow.acked_prefix))))
+        msg.sent += size
+        flow.last_send_ps = self.sim.now
+        return Packet(
+            self.hid, msg.dst, PacketType.DATA,
+            prio=self._prio_for(offset), payload=size,
+            rpc_id=msg.rpc_id, is_request=True, offset=offset,
+            total_length=msg.length, created_ps=msg.created_ps)
+
+    def _retransmit_from(self, flow: _PiasFlow, offset: int) -> None:
+        """Go-back-N from the acked prefix."""
+        self.retransmissions += 1
+        flow.msg.sent = offset
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketType.DATA:
+            self._on_data(pkt)
+        elif pkt.kind == PacketType.ACK:
+            self._on_ack(pkt)
+
+    def _on_data(self, pkt: Packet) -> None:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
+                                 pkt.total_length, now_ps=self.sim.now)
+            msg.created_ps = pkt.created_ps
+            self.inbound[key] = msg
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        # Cumulative ACK echoing the ECN mark (DCTCP's feedback loop).
+        ack = Packet(self.hid, pkt.src, PacketType.ACK, prio=7,
+                     rpc_id=pkt.rpc_id, is_request=True,
+                     offset=msg.received.contiguous_prefix())
+        ack.ecn = pkt.ecn
+        self.send_ctrl(ack)
+        if msg.is_complete():
+            del self.inbound[key]
+            self._report_complete(msg)
+
+    def _on_ack(self, pkt: Packet) -> None:
+        flow = self.flows.get(pkt.msg_key)
+        if flow is None:
+            return
+        msg = flow.msg
+        advanced = pkt.offset > flow.acked_prefix
+        # DCTCP alpha bookkeeping per window of data.
+        flow.window_sent += 1
+        if pkt.ecn:
+            flow.window_marked += 1
+        if pkt.offset >= flow.window_end or pkt.offset >= msg.length:
+            fraction = (flow.window_marked / flow.window_sent
+                        if flow.window_sent else 0.0)
+            flow.alpha = (1 - DCTCP_G) * flow.alpha + DCTCP_G * fraction
+            if flow.window_marked and self.sim.now >= flow.recovery_until:
+                flow.cwnd = max(MAX_PAYLOAD, flow.cwnd * (1 - flow.alpha / 2))
+                flow.recovery_until = self.sim.now + self.rto_ps // 8
+                self.backoffs += 1
+            flow.window_sent = flow.window_marked = 0
+            flow.window_end = pkt.offset + int(flow.cwnd)
+        if advanced:
+            delta = pkt.offset - flow.acked_prefix
+            flow.acked_prefix = pkt.offset
+            flow.dup_acks = 0
+            if flow.cwnd < flow.ssthresh:
+                flow.cwnd += delta  # slow start
+            else:
+                flow.cwnd += MAX_PAYLOAD * delta / flow.cwnd
+        else:
+            flow.dup_acks += 1
+            if flow.dup_acks == 3 and self.sim.now >= flow.recovery_until:
+                flow.ssthresh = max(MAX_PAYLOAD, flow.cwnd / 2)
+                flow.cwnd = flow.ssthresh
+                flow.recovery_until = self.sim.now + self.rto_ps // 8
+                self._retransmit_from(flow, flow.acked_prefix)
+        if flow.acked_prefix >= msg.length:
+            self.flows.pop(msg.key, None)
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # retransmission timeout
+    # ------------------------------------------------------------------
+
+    def _ensure_timer(self) -> None:
+        if self._timer is not None and Simulator.is_pending(self._timer):
+            return
+        if self.flows:
+            self._timer = self.sim.schedule(self.rto_ps, self._check_timeouts)
+
+    def _check_timeouts(self) -> None:
+        self._timer = None
+        now = self.sim.now
+        for flow in list(self.flows.values()):
+            in_flight = flow.msg.sent - flow.acked_prefix
+            if in_flight > 0 and now - flow.last_send_ps >= self.rto_ps:
+                flow.ssthresh = max(MAX_PAYLOAD, flow.cwnd / 2)
+                flow.cwnd = float(MAX_PAYLOAD)
+                self._retransmit_from(flow, flow.acked_prefix)
+        self._ensure_timer()

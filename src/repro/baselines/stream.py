@@ -1,0 +1,180 @@
+"""Connection-oriented streaming transport (TCP / InfRC stand-in).
+
+Models the property the paper attributes 100x tail latency to: each
+(source, destination) pair shares a fixed set of byte-stream
+connections, messages on a connection are transmitted strictly FIFO, so
+a short message queues behind any long message ahead of it
+(head-of-line blocking, sections 2.2/5.1).  With
+``connections_per_pair > 1`` messages round-robin across connections
+("TCP-MC" / "InfRC-MC"), which removes most HOL blocking but uses no
+priorities — the paper shows this lands at Basic's performance level.
+
+Flow control is an idealized fixed window of one bandwidth-delay
+product per connection with per-packet cumulative ACKs — deliberately
+generous to TCP (no slow start, no loss in these runs), so any latency
+gap vs Homa is attributable to the streaming architecture itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import CTRL_PRIO, MAX_PAYLOAD, Packet, PacketType
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, OutboundMessage
+
+
+class _Connection:
+    """One direction of one byte-stream connection."""
+
+    __slots__ = ("peer", "index", "queue", "in_flight", "window")
+
+    def __init__(self, peer: int, index: int, window: int) -> None:
+        self.peer = peer
+        self.index = index
+        self.queue: deque[OutboundMessage] = deque()  # FIFO messages
+        self.in_flight = 0
+        self.window = window
+
+    def sendable(self) -> bool:
+        if self.in_flight >= self.window:
+            return False
+        while self.queue and self.queue[0].fully_sent():
+            self.queue.popleft()
+        return bool(self.queue)
+
+
+class StreamTransport(Transport):
+    """FIFO byte-stream transport with N connections per destination."""
+
+    protocol_name = "stream"
+
+    def __init__(self, sim: Simulator, *, window_bytes: int,
+                 connections_per_pair: int = 1) -> None:
+        super().__init__(sim)
+        if connections_per_pair < 1:
+            raise ValueError("need at least one connection per pair")
+        self.window_bytes = window_bytes
+        self.connections_per_pair = connections_per_pair
+        self.connections: dict[int, list[_Connection]] = {}
+        self._rr: dict[int, int] = {}  # per-destination assignment RR
+        self._ring: deque[_Connection] = deque()  # NIC service RR
+        self.inbound: dict[int, InboundMessage] = {}
+        # RPC support (for the echo benchmarks).
+        self.rpc_handler = None
+        self._client_cbs: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def _connection_for(self, dst: int) -> _Connection:
+        conns = self.connections.get(dst)
+        if conns is None:
+            conns = [_Connection(dst, i, self.window_bytes)
+                     for i in range(self.connections_per_pair)]
+            self.connections[dst] = conns
+            self._ring.extend(conns)
+        index = self._rr.get(dst, 0)
+        self._rr[dst] = (index + 1) % len(conns)
+        return conns[index]
+
+    def send_message(self, dst: int, length: int, *, rpc_id: int | None = None,
+                     is_request: bool = True,
+                     app_meta: int | None = None) -> OutboundMessage:
+        rpc_id = rpc_id if rpc_id is not None else self.sim.new_id()
+        msg = OutboundMessage(rpc_id, is_request, self.hid, dst, length,
+                              unsched_limit=length,  # window governs pacing
+                              created_ps=self.sim.now, app_meta=app_meta)
+        self._connection_for(dst).queue.append(msg)
+        self.kick()
+        return msg
+
+    def send_rpc(self, dst: int, length: int, *, on_response=None,
+                 on_error=None, app_meta: int | None = None) -> int:
+        rpc_id = self.sim.new_id()
+        self._client_cbs[rpc_id] = (on_response, on_error)
+        self.send_message(dst, length, rpc_id=rpc_id, is_request=True,
+                          app_meta=app_meta)
+        return rpc_id
+
+    def _next_data(self) -> Optional[Packet]:
+        # The NIC serves connections round-robin (per-connection fair
+        # queueing); within a connection, strict FIFO — that FIFO is the
+        # HOL-blocking source the paper measures.
+        best: Optional[_Connection] = None
+        for _ in range(len(self._ring)):
+            conn = self._ring[0]
+            self._ring.rotate(-1)
+            if conn.sendable():
+                best = conn
+                break
+        if best is None:
+            return None
+        msg = best.queue[0]
+        offset, size, is_rtx = msg.next_chunk()
+        best.in_flight += size
+        if msg.fully_sent():
+            best.queue.popleft()
+        return Packet(
+            self.hid, best.peer, PacketType.DATA, prio=0, payload=size,
+            rpc_id=msg.rpc_id, is_request=msg.is_request, offset=offset,
+            total_length=msg.length, retx=is_rtx, app_meta=msg.app_meta,
+            grant_offset=best.index, created_ps=msg.created_ps)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketType.DATA:
+            self._on_data(pkt)
+        elif pkt.kind == PacketType.ACK:
+            self._on_ack(pkt)
+
+    def _on_data(self, pkt: Packet) -> None:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            msg = InboundMessage(pkt.rpc_id, pkt.is_request, pkt.src,
+                                 self.hid, pkt.total_length,
+                                 now_ps=self.sim.now)
+            msg.created_ps = pkt.created_ps
+            msg.app_meta = pkt.app_meta
+            self.inbound[key] = msg
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        # Per-packet ACK releases window on the sending side; the ACK
+        # carries the connection index so the sender credits correctly.
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.ACK, prio=CTRL_PRIO,
+            rpc_id=pkt.rpc_id, is_request=pkt.is_request,
+            offset=pkt.offset, payload=0, range_end=pkt.payload,
+            grant_offset=pkt.grant_offset))
+        if msg.is_complete():
+            del self.inbound[key]
+            self._stream_complete(msg)
+
+    def _stream_complete(self, msg: InboundMessage) -> None:
+        self._report_complete(msg)
+        if msg.is_request:
+            if self.rpc_handler is not None:
+                self.rpc_handler(self, msg)
+        else:
+            cbs = self._client_cbs.pop(msg.rpc_id, None)
+            if cbs is not None and cbs[0] is not None:
+                cbs[0](msg.rpc_id, msg)
+
+    def respond(self, request: InboundMessage, length: int) -> OutboundMessage:
+        """Server side of an RPC: send the response on the stream."""
+        return self.send_message(request.src, length, rpc_id=request.rpc_id,
+                                 is_request=False)
+
+    def _on_ack(self, pkt: Packet) -> None:
+        conns = self.connections.get(pkt.src)
+        if not conns:
+            return
+        conn = conns[pkt.grant_offset % len(conns)]
+        conn.in_flight = max(0, conn.in_flight - pkt.range_end)
+        self.kick()

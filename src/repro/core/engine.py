@@ -1,0 +1,100 @@
+"""Event engine: a binary-heap discrete event simulator.
+
+Events are plain lists ``[time_ps, seq, fn, args]`` so the heap never
+has to compare callables: ``seq`` is unique, which makes orderings total
+and deterministic.  Cancellation is lazy (the callable slot is cleared);
+this keeps ``schedule``/``cancel`` O(log n)/O(1), which matters because
+transports cancel and re-arm retransmission timers constantly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List
+
+Event = List[Any]  # [time_ps, seq, fn, args]
+
+_TIME = 0
+_SEQ = 1
+_FN = 2
+_ARGS = 3
+
+
+class Simulator:
+    """Discrete event simulator with an integer picosecond clock."""
+
+    __slots__ = ("now", "_heap", "_seq", "_ids", "events_processed")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._ids: int = 0
+        self.events_processed: int = 0
+
+    def new_id(self) -> int:
+        """Globally unique integer id (RPC ids, message ids, ...)."""
+        self._ids += 1
+        return self._ids
+
+    def schedule(self, delay_ps: int, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay_ps``; returns a cancellable event."""
+        if delay_ps < 0:
+            raise ValueError(f"negative delay {delay_ps}")
+        return self.schedule_at(self.now + delay_ps, fn, *args)
+
+    def schedule_at(self, time_ps: int, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute ``time_ps``."""
+        if time_ps < self.now:
+            raise ValueError(f"cannot schedule in the past ({time_ps} < {self.now})")
+        self._seq += 1
+        event: Event = [time_ps, self._seq, fn, args]
+        heapq.heappush(self._heap, event)
+        return event
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        event[_FN] = None
+
+    @staticmethod
+    def is_pending(event: Event) -> bool:
+        return event[_FN] is not None
+
+    def peek_time(self) -> int | None:
+        """Timestamp of the next live event, or None when idle."""
+        heap = self._heap
+        while heap and heap[0][_FN] is None:
+            heapq.heappop(heap)
+        return heap[0][_TIME] if heap else None
+
+    def run(self, until_ps: int | None = None, max_events: int | None = None) -> int:
+        """Process events until the horizon/limit/exhaustion; returns count.
+
+        ``until_ps`` is inclusive: events stamped exactly at the horizon
+        still fire, and the clock is left at the horizon afterwards.
+        """
+        heap = self._heap
+        processed = 0
+        while heap:
+            event = heap[0]
+            fn = event[_FN]
+            if fn is None:
+                heapq.heappop(heap)
+                continue
+            if until_ps is not None and event[_TIME] > until_ps:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(heap)
+            self.now = event[_TIME]
+            fn(*event[_ARGS])
+            processed += 1
+        if until_ps is not None and self.now < until_ps:
+            self.now = until_ps
+        self.events_processed += processed
+        return processed
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if event[_FN] is not None)

@@ -1,0 +1,41 @@
+"""Hosts: a NIC with a pull-model egress plus a software delay.
+
+The paper's simulations assume host software has unlimited throughput
+but a fixed 1.5 us delay between a packet arriving and any dependent
+transmission starting.  We model that by delaying delivery to the
+transport by ``software_delay_ps``; everything the transport does in
+response (grants, data) then leaves immediately.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+from repro.core.port import PullPort
+
+
+class Host:
+    """One server: id, rack, an uplink NIC port, and a transport."""
+
+    __slots__ = ("sim", "hid", "rack", "egress", "transport", "software_delay_ps")
+
+    def __init__(self, sim: Simulator, hid: int, rack: int, software_delay_ps: int) -> None:
+        self.sim = sim
+        self.hid = hid
+        self.rack = rack
+        self.egress: PullPort | None = None
+        self.transport = None
+        self.software_delay_ps = software_delay_ps
+
+    def attach(self, transport) -> None:
+        """Bind a transport to this host (and the NIC to the transport)."""
+        self.transport = transport
+        self.egress.source = transport.next_packet
+        transport.bind(self)
+
+    def ingress(self, pkt: Packet) -> None:
+        """A packet finished arriving on the downlink."""
+        self.sim.schedule(self.software_delay_ps, self._deliver, pkt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        self.transport.on_packet(pkt)

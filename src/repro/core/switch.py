@@ -1,0 +1,50 @@
+"""Store-and-forward switches.
+
+A switch receives a fully serialized packet, spends a fixed internal
+processing delay (250 ns in the paper's simulations), then places it on
+the egress port chosen by its routing function.  Routing functions are
+closures installed by the topology builder, which is also where packet
+spraying across uplinks happens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+
+
+class Switch:
+    """A single switch: ingress delay plus a routing function.
+
+    ``drop_filter`` supports fault injection for tests and loss-recovery
+    experiments: if set and it returns True for a packet, the switch
+    silently discards it (as if corrupted on the input link).
+    """
+
+    __slots__ = ("sim", "name", "delay_ps", "route", "ports",
+                 "drop_filter", "injected_drops")
+
+    def __init__(self, sim: Simulator, name: str, delay_ps: int) -> None:
+        self.sim = sim
+        self.name = name
+        self.delay_ps = delay_ps
+        self.route: Callable[[Packet], object] | None = None
+        self.ports: list = []
+        self.drop_filter: Callable[[Packet], bool] | None = None
+        self.injected_drops = 0
+
+    def ingress(self, pkt: Packet) -> None:
+        """Called when a packet has fully arrived on an input link."""
+        if self.drop_filter is not None and self.drop_filter(pkt):
+            self.injected_drops += 1
+            return
+        if self.delay_ps:
+            self.sim.schedule(self.delay_ps, self._forward, pkt)
+        else:
+            self._forward(pkt)
+
+    def _forward(self, pkt: Packet) -> None:
+        port = self.route(pkt)
+        port.enqueue(pkt)

@@ -1,0 +1,308 @@
+"""Topology builders and path-time oracles.
+
+``NetworkConfig`` defaults reproduce Figure 11: 144 hosts in 9 racks of
+16, four 40 Gbps aggregation switches, 10 Gbps host links, 250 ns switch
+delay, 1.5 us host software delay, per-packet spraying across uplinks.
+Setting ``racks=1`` builds a single-switch cluster like the 16-node
+CloudLab testbed of section 5.1.
+
+The oracle methods (``min_oneway_ps``/``min_rpc_ps``) compute the best
+possible delivery time of a message on an unloaded network, which is the
+denominator of every slowdown number in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.core.engine import Simulator
+from repro.core.host import Host
+from repro.core.packet import FULL_WIRE, MAX_PAYLOAD, MIN_WIRE, Packet, wire_size
+from repro.core.port import BasePort, PfabricPort, PullPort, QueuedPort
+from repro.core.switch import Switch
+from repro.core.units import NS, ps_per_byte
+
+#: port queue discipline names accepted by NetworkConfig.queue_mode
+QUEUE_MODES = ("priority", "pfabric")
+
+
+@dataclass
+class NetworkConfig:
+    """Physical network parameters (defaults: the paper's Figure 11)."""
+
+    racks: int = 9
+    hosts_per_rack: int = 16
+    aggrs: int = 4
+    host_gbps: int = 10
+    aggr_gbps: int = 40
+    switch_delay_ns: int = 250
+    software_delay_ns: int = 1500
+    queue_mode: str = "priority"
+    port_buffer_bytes: int | None = None       # None = unbounded
+    pfabric_buffer_bytes: int = 24 * FULL_WIRE  # ~2 BDP, as in pFabric
+    ecn_threshold_bytes: int | None = None      # DCTCP-style marking (PIAS)
+    trim_threshold_bytes: int | None = None     # NDP trimming (8 full pkts)
+    preemptive_links: bool = False              # Fig 14 hardware ablation
+    seed: int = 1
+
+    @property
+    def n_hosts(self) -> int:
+        return self.racks * self.hosts_per_rack
+
+    @property
+    def switch_delay_ps(self) -> int:
+        return self.switch_delay_ns * NS
+
+    @property
+    def software_delay_ps(self) -> int:
+        return self.software_delay_ns * NS
+
+    def scaled(self, **overrides) -> "NetworkConfig":
+        """Copy with overrides (used by quick-mode benchmarks)."""
+        return replace(self, **overrides)
+
+
+class Network:
+    """A built network: hosts, switches, ports, and timing oracles."""
+
+    def __init__(self, sim: Simulator, cfg: NetworkConfig) -> None:
+        if cfg.queue_mode not in QUEUE_MODES:
+            raise ValueError(f"unknown queue mode {cfg.queue_mode!r}")
+        if cfg.racks < 1 or cfg.hosts_per_rack < 1:
+            raise ValueError("need at least one rack with one host")
+        if cfg.racks > 1 and cfg.aggrs < 1:
+            raise ValueError("multi-rack topologies need aggregation switches")
+        self.sim = sim
+        self.cfg = cfg
+        self.hosts: list[Host] = []
+        self.tors: list[Switch] = []
+        self.aggrs: list[Switch] = []
+        self.host_up_ports: list[PullPort] = []
+        self.tor_down_ports: list[BasePort] = []
+        self.tor_up_ports: list[BasePort] = []       # flattened [tor][aggr]
+        self.aggr_down_ports: list[BasePort] = []    # flattened [aggr][rack]
+        self._spray = random.Random(cfg.seed * 7919 + 13)
+        self._oneway_cache: dict[tuple[int, bool], int] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _make_switch_port(self, name: str, gbps: int, deliver, level: str) -> BasePort:
+        cfg = self.cfg
+        if cfg.queue_mode == "pfabric":
+            return PfabricPort(
+                self.sim, name, gbps, deliver, level,
+                buffer_bytes=cfg.pfabric_buffer_bytes,
+            )
+        return QueuedPort(
+            self.sim, name, gbps, deliver, level,
+            buffer_bytes=cfg.port_buffer_bytes,
+            ecn_bytes=cfg.ecn_threshold_bytes,
+            trim_bytes=cfg.trim_threshold_bytes,
+            preemptive=cfg.preemptive_links,
+        )
+
+    def _build(self) -> None:
+        cfg = self.cfg
+        sim = self.sim
+        for hid in range(cfg.n_hosts):
+            self.hosts.append(Host(sim, hid, hid // cfg.hosts_per_rack,
+                                   cfg.software_delay_ps))
+        for rack in range(cfg.racks):
+            self.tors.append(Switch(sim, f"tor{rack}", cfg.switch_delay_ps))
+        if cfg.racks > 1:
+            for a in range(cfg.aggrs):
+                self.aggrs.append(Switch(sim, f"aggr{a}", cfg.switch_delay_ps))
+
+        # Host uplinks (pull model) and TOR downlinks.
+        for host in self.hosts:
+            tor = self.tors[host.rack]
+            up = PullPort(sim, f"h{host.hid}->tor{host.rack}", cfg.host_gbps,
+                          tor.ingress, "host_up")
+            host.egress = up
+            self.host_up_ports.append(up)
+            down = self._make_switch_port(
+                f"tor{host.rack}->h{host.hid}", cfg.host_gbps,
+                host.ingress, "tor_down")
+            self.tor_down_ports.append(down)
+            tor.ports.append(down)
+
+        # TOR uplinks and aggregation downlinks.
+        if cfg.racks > 1:
+            for rack, tor in enumerate(self.tors):
+                for a, aggr in enumerate(self.aggrs):
+                    up = self._make_switch_port(
+                        f"tor{rack}->aggr{a}", cfg.aggr_gbps,
+                        aggr.ingress, "tor_up")
+                    self.tor_up_ports.append(up)
+                    tor.ports.append(up)
+            for a, aggr in enumerate(self.aggrs):
+                for rack, tor in enumerate(self.tors):
+                    down = self._make_switch_port(
+                        f"aggr{a}->tor{rack}", cfg.aggr_gbps,
+                        tor.ingress, "aggr_down")
+                    self.aggr_down_ports.append(down)
+                    aggr.ports.append(down)
+
+        # Routing closures.
+        hosts_per_rack = cfg.hosts_per_rack
+        n_aggrs = cfg.aggrs
+        tor_down = self.tor_down_ports
+        tor_up = self.tor_up_ports
+        aggr_down = self.aggr_down_ports
+        spray = self._spray
+
+        def make_tor_route(rack: int):
+            base = rack * hosts_per_rack
+            up_base = rack * n_aggrs
+
+            def route(pkt: Packet):
+                dst = pkt.dst
+                if dst // hosts_per_rack == rack:
+                    return tor_down[dst]
+                # Per-packet spraying: any aggregation switch works.
+                return tor_up[up_base + spray.randrange(n_aggrs)]
+
+            def route_single(pkt: Packet):
+                return tor_down[pkt.dst]
+
+            return route if cfg.racks > 1 else route_single
+
+        for rack, tor in enumerate(self.tors):
+            tor.route = make_tor_route(rack)
+
+        def make_aggr_route(a: int):
+            base = a * cfg.racks
+
+            def route(pkt: Packet):
+                return aggr_down[base + pkt.dst // hosts_per_rack]
+
+            return route
+
+        for a, aggr in enumerate(self.aggrs):
+            aggr.route = make_aggr_route(a)
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    def rack_of(self, hid: int) -> int:
+        return hid // self.cfg.hosts_per_rack
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    def all_switch_ports(self) -> Iterable[BasePort]:
+        yield from self.tor_down_ports
+        yield from self.tor_up_ports
+        yield from self.aggr_down_ports
+
+    def set_drop_filter(self, fn) -> None:
+        """Install a packet-loss injector on every switch (tests)."""
+        for switch in self.tors + self.aggrs:
+            switch.drop_filter = fn
+
+    def attach_transports(self, factory) -> list:
+        """Build one transport per host via ``factory(host) -> transport``."""
+        transports = []
+        for host in self.hosts:
+            transport = factory(host)
+            host.attach(transport)
+            transports.append(transport)
+        return transports
+
+    # ------------------------------------------------------------------
+    # timing oracles
+    # ------------------------------------------------------------------
+
+    def rtt_ps(self, same_rack: bool = False) -> int:
+        """Grant-to-data round trip: small control packet one way, a
+        full-size data packet back, with software delay at both ends."""
+        ctrl = self._packet_transit_ps(MIN_WIRE, same_rack)
+        data = self._packet_transit_ps(FULL_WIRE, same_rack)
+        return ctrl + data + 2 * self.cfg.software_delay_ps
+
+    def rtt_bytes(self, same_rack: bool = False) -> int:
+        """Bytes a 10 Gbps sender can push during one RTT (paper: ~9.7 KB)."""
+        return self.rtt_ps(same_rack) // ps_per_byte(self.cfg.host_gbps)
+
+    def _packet_transit_ps(self, wire: int, same_rack: bool) -> int:
+        """End-to-end time of one packet on an idle path (no software)."""
+        cfg = self.cfg
+        ppb_h = ps_per_byte(cfg.host_gbps)
+        sw = cfg.switch_delay_ps
+        if same_rack or cfg.racks == 1:
+            return wire * ppb_h + sw + wire * ppb_h
+        ppb_a = ps_per_byte(cfg.aggr_gbps)
+        return (wire * ppb_h + sw + wire * ppb_a + sw
+                + wire * ppb_a + sw + wire * ppb_h)
+
+    def min_oneway_ps(self, length: int, same_rack: bool = False) -> int:
+        """Best possible one-way message time on an unloaded network.
+
+        Same rack (one switch, one path): packets cannot reorder, so the
+        exact store-and-forward FIFO pipeline applies — the sender
+        serializes packets back to back and the receiver's downlink is
+        the sequential bottleneck stage.
+
+        Cross rack: per-packet spraying lets a small trailing packet
+        overtake full packets on another aggregation path, so the tight
+        achievable bound is taken over the k largest packets: the last
+        of the k largest to leave the host cannot leave before their
+        combined serialization time, and then still needs its own
+        transit and downlink serialization.  Aggregation hops are pure
+        delay (4x faster links cannot queue behind one 10 Gbps source).
+
+        Includes the receiver's software delay, matching the paper's
+        "minimum one-way time for a small message is 2.3 us".
+        """
+        key = (length, same_rack or self.cfg.racks == 1)
+        cached = self._oneway_cache.get(key)
+        if cached is not None:
+            return cached
+        cfg = self.cfg
+        ppb_h = ps_per_byte(cfg.host_gbps)
+        sw = cfg.switch_delay_ps
+
+        full, rest = divmod(length, MAX_PAYLOAD)
+        wires = [FULL_WIRE] * full
+        if rest:
+            wires.append(wire_size(rest))
+
+        if key[1]:  # single switch on the path: exact FIFO pipeline
+            host_done = 0
+            downlink_free = 0
+            for wire in wires:
+                host_done += wire * ppb_h
+                enqueue = host_done + sw
+                start = enqueue if enqueue > downlink_free else downlink_free
+                downlink_free = start + wire * ppb_h
+            result = downlink_free + cfg.software_delay_ps
+        else:
+            ppb_a = ps_per_byte(cfg.aggr_gbps)
+            wires.sort(reverse=True)
+            cum = 0
+            best = 0
+            for wire in wires:  # descending: k largest prefix
+                cum += wire * ppb_h
+                transit = 3 * sw + 2 * wire * ppb_a
+                candidate = cum + transit + wire * ppb_h
+                if candidate > best:
+                    best = candidate
+            result = best + cfg.software_delay_ps
+        self._oneway_cache[key] = result
+        return result
+
+    def min_rpc_ps(self, request: int, response: int, same_rack: bool = False) -> int:
+        """Best possible echo-RPC round trip (client send -> response done)."""
+        return (self.min_oneway_ps(request, same_rack)
+                + self.min_oneway_ps(response, same_rack))
+
+
+def build_network(sim: Simulator, cfg: NetworkConfig | None = None) -> Network:
+    """Construct a network; default configuration is the paper's Fig 11."""
+    return Network(sim, cfg or NetworkConfig())

@@ -1,0 +1,5 @@
+"""Experiment harness: one runner, plus scenario builders per figure."""
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,80 @@
+"""Maximum sustainable load search (Figure 15 / Figure 16).
+
+"We simulated each workload-protocol combination at higher and higher
+network loads to identify the highest load the protocol can support
+(the load generator runs open-loop, so if the offered load exceeds the
+protocol's capacity, queues grow without bound)."
+
+A run is *stable* when nearly everything submitted finishes within the
+drain window.  We sweep an ascending load grid and report the last
+stable point, plus the application-goodput share there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+
+#: fraction of submitted messages that must complete for stability
+STABLE_FINISH_RATE = 0.90
+#: open-loop backlog may not grow more than this between 2/3 of the
+#: window and its end (unbounded linear growth measures ~1.5 there)
+STABLE_BACKLOG_GROWTH = 1.35
+
+
+@dataclass
+class MaxLoadResult:
+    protocol: str
+    workload: str
+    max_load: float          # highest stable offered load (0..1)
+    total_utilization: float  # goodput incl. headers/control at that load
+    app_utilization: float    # application bytes only
+    probes: list[tuple[float, float]]  # (load, backlog growth) per probe
+
+
+def is_stable(cfg: ExperimentConfig) -> tuple[bool, object]:
+    from repro.workloads.catalog import get_workload
+
+    result = run_experiment(cfg)
+    # Slack: pipe-content wobble — a few RTTs plus a couple of mean
+    # messages per host do not count as backlog growth.
+    n_hosts = cfg.racks * cfg.hosts_per_rack
+    mean_msg = get_workload(cfg.workload).cdf.mean()
+    slack = (6 * 9680 + 2 * mean_msg) * n_hosts
+    grown = (result.backlog_end_bytes
+             > STABLE_BACKLOG_GROWTH * result.backlog_mid_bytes + slack)
+    finished = result.finish_rate >= STABLE_FINISH_RATE
+    return (finished and not grown, result)
+
+
+def find_max_load(
+    base: ExperimentConfig,
+    *,
+    grid: tuple[float, ...] = (0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95),
+) -> MaxLoadResult:
+    """Ascending sweep; returns the last stable grid point."""
+    best_load = 0.0
+    best_result = None
+    probes = []
+    for load in grid:
+        cfg = replace(base, load=load, collect=("throughput",))
+        stable, result = is_stable(cfg)
+        probes.append((load, result.backlog_growth()))
+        if stable:
+            best_load = load
+            best_result = result
+        else:
+            break  # open-loop: loads above an unstable point stay unstable
+    if best_result is None:
+        cfg = replace(base, load=grid[0], collect=("throughput",))
+        _, best_result = is_stable(cfg)
+        best_load = 0.0
+    return MaxLoadResult(
+        protocol=base.protocol,
+        workload=base.workload,
+        max_load=best_load,
+        total_utilization=best_result.total_utilization,
+        app_utilization=best_result.app_utilization,
+        probes=probes,
+    )

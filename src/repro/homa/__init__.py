@@ -1,0 +1,20 @@
+"""Homa: receiver-driven low-latency transport using network priorities.
+
+The paper's primary contribution (section 3).  ``HomaTransport``
+implements the complete protocol: blind unscheduled transmission,
+receiver-driven per-packet grants, dynamic priority allocation for both
+scheduled and unscheduled packets, controlled overcommitment, the
+RESEND/BUSY loss machinery, connectionless at-least-once RPCs, and
+incast control.
+"""
+
+from repro.homa.config import HomaConfig
+from repro.homa.priorities import PriorityAllocation, allocate_priorities
+from repro.homa.transport import HomaTransport
+
+__all__ = [
+    "HomaConfig",
+    "HomaTransport",
+    "PriorityAllocation",
+    "allocate_priorities",
+]

@@ -1,0 +1,211 @@
+"""Priority allocation (paper section 3.4, Figure 4).
+
+Receivers split the available priority levels between unscheduled and
+scheduled packets in proportion to the traffic they carry, then choose
+cutoff points so each unscheduled level carries the same number of
+unscheduled bytes, with shorter messages on higher levels.
+
+``allocate_priorities`` computes a static allocation from a known size
+distribution (what the RAMCloud implementation does).
+``OnlineEstimator`` reconstructs the distribution from observed message
+sizes at runtime — the mechanism the paper describes receivers using to
+adapt, disseminated to senders by piggybacking on outgoing packets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.workloads.distributions import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class PriorityAllocation:
+    """A concrete mapping of message sizes to switch priority levels.
+
+    ``cutoffs`` are ascending inclusive upper bounds of message length,
+    one per unscheduled level, highest priority first; the last cutoff
+    is effectively infinite.  ``sched_levels`` are the (lower) levels
+    available for scheduled packets, ascending.
+    """
+
+    n_prios: int
+    sched_levels: tuple[int, ...]
+    unsched_levels: tuple[int, ...]  # ascending; highest used for smallest
+    cutoffs: tuple[int, ...]         # parallel to reversed(unsched_levels)
+
+    @property
+    def n_sched(self) -> int:
+        return len(self.sched_levels)
+
+    @property
+    def n_unsched(self) -> int:
+        return len(self.unsched_levels)
+
+    def unsched_prio(self, length: int) -> int:
+        """Priority level for unscheduled packets of a message."""
+        top = self.unsched_levels[-1]
+        for index, cutoff in enumerate(self.cutoffs):
+            if length <= cutoff:
+                return top - index
+        return self.unsched_levels[0]
+
+    def sched_prio(self, rank: int) -> int:
+        """Priority level for the active message of ``rank`` (0 = most
+        remaining bytes).  Lowest levels first, so that new shorter
+        messages can preempt without lag (Figure 5); ranks beyond the
+        number of levels share the highest scheduled level."""
+        index = min(rank, self.n_sched - 1)
+        return self.sched_levels[index]
+
+
+def split_levels(
+    unsched_fraction: float,
+    n_prios: int,
+    *,
+    n_unsched_override: int | None = None,
+    n_sched_override: int | None = None,
+) -> tuple[int, int]:
+    """Decide how many levels go to unscheduled vs scheduled packets.
+
+    Returns (n_sched, n_unsched).  With a single level both classes
+    share it (the paper's HomaP1).
+    """
+    if n_prios < 1:
+        raise ValueError(f"need at least one priority level, got {n_prios}")
+    if n_prios == 1:
+        return (1, 1)  # shared level
+    if n_unsched_override is not None and n_sched_override is not None:
+        if n_unsched_override + n_sched_override > n_prios:
+            raise ValueError("override levels exceed available priorities")
+        return (n_sched_override, n_unsched_override)
+    if n_unsched_override is not None:
+        n_unsched = min(n_unsched_override, n_prios - 1)
+        return (n_prios - n_unsched, n_unsched)
+    if n_sched_override is not None:
+        n_sched = min(n_sched_override, n_prios - 1)
+        return (n_sched, n_prios - n_sched)
+    n_unsched = round(n_prios * unsched_fraction)
+    n_unsched = max(1, min(n_prios - 1, n_unsched))
+    return (n_prios - n_unsched, n_unsched)
+
+
+def compute_cutoffs(
+    cdf: EmpiricalCDF,
+    n_unsched: int,
+    unsched_limit: int,
+) -> tuple[int, ...]:
+    """Cutoffs that balance unscheduled bytes across levels (Figure 4)."""
+    if n_unsched < 1:
+        raise ValueError("need at least one unscheduled level")
+    total = cdf.mean_truncated(unsched_limit)
+    cutoffs = []
+    for level in range(1, n_unsched):
+        target = total * level / n_unsched
+        cutoffs.append(_invert_unsched_mass(cdf, target, unsched_limit))
+    cutoffs.append(cdf.max_bytes())
+    return tuple(cutoffs)
+
+
+def _invert_unsched_mass(
+    cdf: EmpiricalCDF, target: float, cap: int
+) -> int:
+    """Find c with E[min(S, cap); S <= c] = target by bisection."""
+    lo, hi = 1.0, float(cdf.max_bytes())
+    for _ in range(64):
+        mid = math.sqrt(lo * hi)  # bisect in log space
+        if cdf.unsched_mass_below(mid, cap) < target:
+            lo = mid
+        else:
+            hi = mid
+    return max(1, round(hi))
+
+
+def allocate_priorities(
+    cdf: EmpiricalCDF,
+    unsched_limit: int,
+    *,
+    n_prios: int = 8,
+    n_unsched_override: int | None = None,
+    n_sched_override: int | None = None,
+    cutoff_override: tuple[int, ...] | None = None,
+) -> PriorityAllocation:
+    """Full allocation for a workload (static mode, as in section 4)."""
+    fraction = cdf.mean_truncated(unsched_limit) / cdf.mean()
+    n_sched, n_unsched = split_levels(
+        fraction, n_prios,
+        n_unsched_override=n_unsched_override,
+        n_sched_override=n_sched_override,
+    )
+    if n_prios == 1:
+        sched_levels: tuple[int, ...] = (0,)
+        unsched_levels: tuple[int, ...] = (0,)
+    else:
+        sched_levels = tuple(range(n_sched))
+        unsched_levels = tuple(range(n_prios - n_unsched, n_prios))
+    if cutoff_override is not None:
+        if len(cutoff_override) != n_unsched:
+            raise ValueError(
+                f"need {n_unsched} cutoffs, got {len(cutoff_override)}")
+        cutoffs = tuple(cutoff_override)
+    else:
+        cutoffs = compute_cutoffs(cdf, n_unsched, unsched_limit)
+    return PriorityAllocation(
+        n_prios=n_prios,
+        sched_levels=sched_levels,
+        unsched_levels=unsched_levels,
+        cutoffs=cutoffs,
+    )
+
+
+class OnlineEstimator:
+    """Receiver-side message size histogram for dynamic allocation.
+
+    Sizes are recorded into logarithmic bins; periodically the receiver
+    rebuilds an ``EmpiricalCDF`` from the observed histogram and
+    recomputes its allocation, which is then disseminated to senders
+    (piggybacked on GRANT packets in this implementation).
+    """
+
+    #: log-spaced bin edges: 1 B .. 64 MB, 8 bins per octave
+    N_BINS = 8 * 27
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.N_BINS
+        self.samples = 0
+
+    @staticmethod
+    def _bin_of(size: int) -> int:
+        index = int(8 * math.log2(max(1, size)))
+        return min(index, OnlineEstimator.N_BINS - 1)
+
+    @staticmethod
+    def _bin_upper(index: int) -> int:
+        return max(1, math.ceil(2.0 ** ((index + 1) / 8.0)))
+
+    def record(self, size: int) -> None:
+        self.counts[self._bin_of(size)] += 1
+        self.samples += 1
+
+    def to_cdf(self) -> EmpiricalCDF | None:
+        """Reconstruct a distribution; None until enough samples."""
+        if self.samples < 100:
+            return None
+        anchors: list[tuple[float, float]] = [(0.0, 1)]
+        seen = 0
+        last_q = 0.0
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            seen += count
+            q = seen / self.samples
+            size = self._bin_upper(index)
+            if q > last_q and size > anchors[-1][1]:
+                anchors.append((min(q, 1.0), size))
+                last_q = q
+        if anchors[-1][0] < 1.0:
+            anchors.append((1.0, anchors[-1][1] + 1))
+        if len(anchors) < 2:
+            return None
+        return EmpiricalCDF(anchors, name="online")

@@ -1,0 +1,103 @@
+"""A byte-stream interface layered over Homa (paper section 3.1/3.8).
+
+"We believe that traditional applications could be supported by
+implementing a socket-like byte stream interface above Homa.  ...  a
+TCP-like streaming mechanism can be implemented as a very thin layer on
+top of Homa that discards duplicate data and preserves order."
+
+This is that thin layer: each ``write`` becomes one Homa message
+carrying a stream id and sequence number; the receiving adapter buffers
+out-of-order completions, delivers chunks in sequence order, and drops
+duplicates (which Homa's at-least-once semantics can produce after
+retransmissions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.homa.transport import HomaTransport
+
+
+def _meta(stream_id: int, seq: int) -> int:
+    return (stream_id << 28) | seq
+
+
+def _unmeta(meta: int) -> tuple[int, int]:
+    return meta >> 28, meta & ((1 << 28) - 1)
+
+
+class StreamSender:
+    """Write side of one ordered stream to a fixed peer."""
+
+    def __init__(self, adapter: "StreamOverHoma", stream_id: int,
+                 peer: int) -> None:
+        self.adapter = adapter
+        self.stream_id = stream_id
+        self.peer = peer
+        self.next_seq = 0
+        self.bytes_written = 0
+
+    def write(self, length: int) -> int:
+        """Send ``length`` bytes as one stream chunk; returns its seq."""
+        seq = self.next_seq
+        self.next_seq += 1
+        self.bytes_written += length
+        self.adapter.transport.send_message(
+            self.peer, length, app_meta=_meta(self.stream_id, seq))
+        return seq
+
+
+class StreamReceiver:
+    """Read side: reorders chunks and filters duplicates."""
+
+    def __init__(self, on_chunk: Callable[[int, int], None]) -> None:
+        self.on_chunk = on_chunk          # fn(seq, length)
+        self.expected_seq = 0
+        self.pending: dict[int, int] = {}  # seq -> length
+        self.duplicates_dropped = 0
+        self.bytes_delivered = 0
+
+    def deliver(self, seq: int, length: int) -> None:
+        if seq < self.expected_seq or seq in self.pending:
+            self.duplicates_dropped += 1  # at-least-once re-delivery
+            return
+        self.pending[seq] = length
+        while self.expected_seq in self.pending:
+            chunk_len = self.pending.pop(self.expected_seq)
+            self.bytes_delivered += chunk_len
+            self.on_chunk(self.expected_seq, chunk_len)
+            self.expected_seq += 1
+
+
+class StreamOverHoma:
+    """Per-host adapter multiplexing ordered streams over one transport."""
+
+    def __init__(self, transport: HomaTransport) -> None:
+        self.transport = transport
+        self._next_stream_id = 1
+        self._receivers: dict[int, StreamReceiver] = {}
+        self._chain = transport.on_message_complete
+        transport.on_message_complete = self._on_complete
+
+    def open(self, peer: int) -> StreamSender:
+        """Open an outgoing ordered stream to ``peer``."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        return StreamSender(self, stream_id, peer)
+
+    def listen(self, stream_id: int,
+               on_chunk: Callable[[int, int], None]) -> StreamReceiver:
+        """Register the read side of a stream id."""
+        receiver = StreamReceiver(on_chunk)
+        self._receivers[stream_id] = receiver
+        return receiver
+
+    def _on_complete(self, msg, now) -> None:
+        if msg.app_meta is not None:
+            stream_id, seq = _unmeta(msg.app_meta)
+            receiver = self._receivers.get(stream_id)
+            if receiver is not None:
+                receiver.deliver(seq, msg.length)
+        if self._chain is not None:
+            self._chain(msg, now)

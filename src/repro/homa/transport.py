@@ -1,0 +1,520 @@
+"""The Homa transport (paper section 3).
+
+One ``HomaTransport`` instance runs on each host and plays both roles:
+
+* **Sender** (3.2): transmits the unscheduled prefix of each message
+  blindly, then only granted bytes; picks the outgoing packet with SRPT
+  (fewest remaining bytes first); control packets always go first.
+* **Receiver** (3.3-3.5): issues one GRANT per arriving data packet so
+  each active message keeps RTTbytes granted-but-not-received; grants
+  to the top-K shortest messages simultaneously (controlled
+  overcommitment, K = number of scheduled priority levels); assigns a
+  distinct scheduled priority per active message, lowest levels first
+  to avoid preemption lag (Figure 5).
+* **RPC layer** (3.1, 3.6-3.8): connectionless at-least-once RPCs; the
+  response acknowledges the request; servers discard all RPC state once
+  the last response byte is handed to the NIC; incast control marks
+  requests of clients with many outstanding RPCs so servers limit the
+  unscheduled portion of responses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import CTRL_PRIO, MAX_PAYLOAD, Packet, PacketType
+from repro.homa.config import HomaConfig
+from repro.homa.priorities import (
+    OnlineEstimator,
+    PriorityAllocation,
+    allocate_priorities,
+)
+from repro.transport.base import Transport
+from repro.transport.messages import InboundMessage, OutboundMessage
+
+
+class ClientRpc:
+    """Client-side state of one outstanding RPC."""
+
+    __slots__ = ("rpc_id", "dst", "request", "response_started", "resends",
+                 "last_activity_ps", "on_response", "on_error", "created_ps",
+                 "incast")
+
+    def __init__(self, rpc_id, dst, request, now_ps, on_response, on_error,
+                 incast):
+        self.rpc_id = rpc_id
+        self.dst = dst
+        self.request = request
+        self.response_started = False
+        self.resends = 0
+        self.last_activity_ps = now_ps
+        self.on_response = on_response
+        self.on_error = on_error
+        self.created_ps = now_ps
+        self.incast = incast
+
+
+class ServerRpc:
+    """Server-side state of one RPC (discarded once the response is sent)."""
+
+    __slots__ = ("rpc_id", "client", "request_length", "response", "incast",
+                 "app_meta")
+
+    def __init__(self, rpc_id, client, request_length, incast, app_meta):
+        self.rpc_id = rpc_id
+        self.client = client
+        self.request_length = request_length
+        self.response: Optional[OutboundMessage] = None
+        self.incast = incast
+        self.app_meta = app_meta
+
+
+class HomaTransport(Transport):
+    """Full Homa protocol implementation."""
+
+    protocol_name = "homa"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cfg: HomaConfig,
+        allocation: PriorityAllocation,
+        rtt_bytes: int,
+    ) -> None:
+        super().__init__(sim)
+        self.cfg = cfg
+        self.alloc = allocation
+        self.rtt_bytes = cfg.rtt_bytes or rtt_bytes
+        self.unsched_limit = cfg.resolved_unsched_limit(self.rtt_bytes)
+        self.outbound: dict[int, OutboundMessage] = {}
+        self.inbound: dict[int, InboundMessage] = {}
+        self.client_rpcs: dict[int, ClientRpc] = {}
+        self.server_rpcs: dict[int, ServerRpc] = {}
+        #: server application: fn(transport, server_rpc) -> None.
+        #: When unset, inbound requests are treated as one-way messages.
+        self.rpc_handler: Optional[Callable[["HomaTransport", ServerRpc], None]] = None
+        #: observer for Figure 16: fn(host_id, withheld: bool)
+        self.withheld_observer: Optional[Callable[[int, bool], None]] = None
+        self._withheld = False
+        self._timer_event = None
+        # Online priority estimation (section 3.4 dissemination).
+        self.estimator = OnlineEstimator() if cfg.online_priorities else None
+        self._next_refresh_ps = 0
+        self.peer_alloc: dict[int, PriorityAllocation] = {}
+        # Counters.
+        self.grants_sent = 0
+        self.resends_sent = 0
+        self.busys_sent = 0
+        self.rpcs_aborted = 0
+        self.rpcs_completed = 0
+        self.reexecutions = 0
+
+    # ------------------------------------------------------------------
+    # public sending API
+    # ------------------------------------------------------------------
+
+    def send_message(self, dst: int, length: int, *, unsched_limit: int | None = None,
+                     app_meta: int | None = None) -> OutboundMessage:
+        """Send a one-way message (the paper's simulation workloads)."""
+        rpc_id = self.sim.new_id()
+        return self._new_outbound(rpc_id, True, dst, length,
+                                  unsched_limit=unsched_limit,
+                                  app_meta=app_meta, incast=False)
+
+    def send_rpc(
+        self,
+        dst: int,
+        length: int,
+        *,
+        on_response: Optional[Callable[[int, InboundMessage], None]] = None,
+        on_error: Optional[Callable[[int], None]] = None,
+        app_meta: int | None = None,
+    ) -> int:
+        """Issue an RPC; returns its globally unique id (section 3.1)."""
+        rpc_id = self.sim.new_id()
+        incast = (self.cfg.incast_control
+                  and len(self.client_rpcs) >= self.cfg.incast_threshold)
+        request = self._new_outbound(rpc_id, True, dst, length,
+                                     app_meta=app_meta, incast=incast)
+        self.client_rpcs[rpc_id] = ClientRpc(
+            rpc_id, dst, request, self.sim.now, on_response, on_error, incast)
+        self._ensure_timer()
+        return rpc_id
+
+    def respond(self, server_rpc: ServerRpc, length: int) -> OutboundMessage:
+        """Server application sends the response for an RPC."""
+        unsched = None
+        if server_rpc.incast:
+            # Incast control (3.6): scheduled delivery for marked RPCs.
+            unsched = min(self.cfg.incast_response_unsched, length)
+        response = self._new_outbound(server_rpc.rpc_id, False,
+                                      server_rpc.client, length,
+                                      unsched_limit=unsched, incast=False)
+        server_rpc.response = response
+        return response
+
+    def _new_outbound(self, rpc_id, is_request, dst, length, *,
+                      unsched_limit=None, app_meta=None, incast=False) -> OutboundMessage:
+        msg = OutboundMessage(
+            rpc_id, is_request, self.hid, dst, length,
+            unsched_limit=unsched_limit if unsched_limit is not None
+            else self.unsched_limit,
+            created_ps=self.sim.now, app_meta=app_meta)
+        msg.incast = incast
+        self.outbound[msg.key] = msg
+        self.kick()
+        return msg
+
+    # ------------------------------------------------------------------
+    # sender: SRPT packet selection (3.2)
+    # ------------------------------------------------------------------
+
+    def _next_data(self) -> Optional[Packet]:
+        best: Optional[OutboundMessage] = None
+        best_key = None
+        for msg in self.outbound.values():
+            if not msg.sendable():
+                continue
+            key = (msg.remaining, msg.created_ps)
+            if best_key is None or key < best_key:
+                best, best_key = msg, key
+        if best is None:
+            return None
+        offset, size, is_rtx = best.next_chunk()
+        pkt = self._make_data_packet(best, offset, size, is_rtx)
+        if best.fully_sent():
+            self._outbound_finished(best)
+        return pkt
+
+    def _make_data_packet(self, msg: OutboundMessage, offset: int, size: int,
+                          is_rtx: bool) -> Packet:
+        sched = offset >= msg.unsched_limit
+        if sched:
+            prio = msg.grant_prio
+        else:
+            alloc = self.peer_alloc.get(msg.dst, self.alloc)
+            prio = alloc.unsched_prio(msg.length)
+        return Packet(
+            self.hid, msg.dst, PacketType.DATA,
+            prio=prio, payload=size, rpc_id=msg.rpc_id,
+            is_request=msg.is_request, offset=offset,
+            total_length=msg.length, sched=sched, retx=is_rtx,
+            incast=msg.incast, app_meta=msg.app_meta,
+            grant_offset=min(msg.length, msg.unsched_limit),
+            created_ps=msg.created_ps,
+        )
+
+    def _outbound_finished(self, msg: OutboundMessage) -> None:
+        """All bytes handed to the NIC: drop sender state where allowed."""
+        self.outbound.pop(msg.key, None)
+        if msg.is_request:
+            rpc = self.client_rpcs.get(msg.rpc_id)
+            if rpc is not None:
+                # Start the response timeout clock only now.
+                rpc.last_activity_ps = self.sim.now
+        else:
+            # Server: discard all RPC state once the last response byte
+            # is transmitted (at-least-once semantics, section 3.8).
+            self.server_rpcs.pop(msg.rpc_id, None)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        kind = pkt.kind
+        if kind == PacketType.DATA:
+            self._on_data(pkt)
+        elif kind == PacketType.GRANT:
+            self._on_grant(pkt)
+        elif kind == PacketType.RESEND:
+            self._on_resend(pkt)
+        elif kind == PacketType.BUSY:
+            self._on_busy(pkt)
+        else:  # pragma: no cover - no other kinds reach a Homa host
+            raise ValueError(f"unexpected packet kind {kind}")
+
+    def _on_data(self, pkt: Packet) -> None:
+        key = pkt.msg_key
+        msg = self.inbound.get(key)
+        if msg is None:
+            if not pkt.is_request and pkt.rpc_id not in self.client_rpcs:
+                return  # duplicate response for a completed RPC: drop
+            msg = InboundMessage(pkt.rpc_id, pkt.is_request, pkt.src,
+                                 self.hid, pkt.total_length, now_ps=self.sim.now)
+            msg.app_meta = pkt.app_meta
+            msg.incast = pkt.incast
+            msg.created_ps = pkt.created_ps
+            self.inbound[key] = msg
+            if self.estimator is not None:
+                self.estimator.record(pkt.total_length)
+            if not pkt.is_request:
+                rpc = self.client_rpcs.get(pkt.rpc_id)
+                if rpc is not None:
+                    rpc.response_started = True
+        if pkt.grant_offset > msg.granted:
+            msg.granted = min(pkt.grant_offset, msg.length)
+        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if msg.is_complete():
+            del self.inbound[key]
+            self._inbound_finished(msg)
+        self._schedule_grants()
+        self._ensure_timer()
+        self._maybe_refresh_allocation()
+
+    def _inbound_finished(self, msg: InboundMessage) -> None:
+        self._report_complete(msg)
+        if msg.is_request:
+            if self.rpc_handler is not None:
+                if msg.rpc_id in self.server_rpcs:
+                    # Duplicate request arriving while we still hold
+                    # state: at-least-once allows re-execution, but with
+                    # live state we simply ignore the duplicate.
+                    return
+                server_rpc = ServerRpc(msg.rpc_id, msg.src, msg.length,
+                                       msg.incast, msg.app_meta)
+                self.server_rpcs[msg.rpc_id] = server_rpc
+                self.rpc_handler(self, server_rpc)
+        else:
+            rpc = self.client_rpcs.pop(msg.rpc_id, None)
+            if rpc is not None:
+                self.rpcs_completed += 1
+                if rpc.on_response is not None:
+                    rpc.on_response(msg.rpc_id, msg)
+
+    # ------------------------------------------------------------------
+    # receiver: grants, overcommitment, priorities (3.3-3.5)
+    # ------------------------------------------------------------------
+
+    def _grant_degree(self) -> int:
+        if self.cfg.unlimited_overcommit:
+            return 1 << 30
+        if self.cfg.overcommit_override is not None:
+            return self.cfg.overcommit_override
+        return self.alloc.n_sched
+
+    def _schedule_grants(self) -> None:
+        grantable = [m for m in self.inbound.values() if m.granted < m.length]
+        degree = self._grant_degree()
+        if len(grantable) <= degree:
+            active = grantable
+        else:
+            grantable.sort(key=lambda m: (m.bytes_remaining, m.first_arrival_ps))
+            active = grantable[:degree]
+            if self.cfg.grant_oldest:
+                # Section 5.1 speculation: always keep the oldest
+                # partially-received message schedulable so the very
+                # largest messages cannot starve.
+                oldest = min(grantable, key=lambda m: m.first_arrival_ps)
+                if oldest not in active:
+                    active[-1] = oldest
+        self._set_withheld(len(grantable) > len(active))
+        if not active:
+            return
+        # Most remaining bytes -> rank 0 -> lowest scheduled level, so a
+        # newly arriving shorter message preempts without lag (Fig 5).
+        ordered = sorted(active, key=lambda m: (-m.bytes_remaining,
+                                                -m.first_arrival_ps))
+        cutoffs = self._cutoffs_to_advertise()
+        for rank, msg in enumerate(ordered):
+            prio = self.alloc.sched_prio(rank)
+            msg.sched_prio = prio
+            new_grant = msg.bytes_received + self.rtt_bytes
+            # Grant in whole packets, as the implementation does.
+            new_grant = -(-new_grant // MAX_PAYLOAD) * MAX_PAYLOAD
+            new_grant = min(new_grant, msg.length)
+            if new_grant > msg.granted:
+                msg.granted = new_grant
+                self.grants_sent += 1
+                self.send_ctrl(Packet(
+                    self.hid, msg.src, PacketType.GRANT, prio=CTRL_PRIO,
+                    rpc_id=msg.rpc_id, is_request=msg.is_request,
+                    grant_offset=new_grant, grant_prio=prio, cutoffs=cutoffs))
+
+    def _set_withheld(self, withheld: bool) -> None:
+        if withheld != self._withheld:
+            self._withheld = withheld
+            if self.withheld_observer is not None:
+                self.withheld_observer(self.hid, withheld)
+
+    # ------------------------------------------------------------------
+    # grants / resends / busy at the sender
+    # ------------------------------------------------------------------
+
+    def _on_grant(self, pkt: Packet) -> None:
+        if pkt.cutoffs is not None:
+            self._adopt_peer_cutoffs(pkt.src, pkt.cutoffs)
+        msg = self.outbound.get(pkt.msg_key)
+        if msg is None:
+            return  # grant raced with completion
+        msg.grant_to(pkt.grant_offset, pkt.grant_prio)
+        self.kick()
+
+    def _find_sender_message(self, pkt: Packet) -> Optional[OutboundMessage]:
+        msg = self.outbound.get(pkt.msg_key)
+        if msg is not None:
+            return msg
+        if pkt.is_request:
+            rpc = self.client_rpcs.get(pkt.rpc_id)
+            return rpc.request if rpc is not None else None
+        server_rpc = self.server_rpcs.get(pkt.rpc_id)
+        return server_rpc.response if server_rpc is not None else None
+
+    def _on_resend(self, pkt: Packet) -> None:
+        msg = self._find_sender_message(pkt)
+        if msg is None:
+            if not pkt.is_request:
+                if pkt.rpc_id in self.server_rpcs:
+                    # Response still being computed: hold the client off.
+                    self._send_busy(pkt)
+                else:
+                    # Unknown RPCid: the request must have been lost (or
+                    # our state discarded).  Ask the client to resend the
+                    # request; the RPC will re-execute (sections 3.7/3.8).
+                    self.reexecutions += 1
+                    self.resends_sent += 1
+                    self.send_ctrl(Packet(
+                        self.hid, pkt.src, PacketType.RESEND, prio=CTRL_PRIO,
+                        rpc_id=pkt.rpc_id, is_request=True,
+                        offset=0, range_end=self.rtt_bytes))
+            return
+        if self._sender_is_busy(msg):
+            self._send_busy(pkt)
+            return
+        msg.queue_rtx(pkt.offset, pkt.range_end)
+        self.outbound[msg.key] = msg  # may have been cleaned up
+        if pkt.is_request:
+            rpc = self.client_rpcs.get(pkt.rpc_id)
+            if rpc is not None:
+                rpc.last_activity_ps = self.sim.now
+        self.kick()
+
+    def _sender_is_busy(self, msg: OutboundMessage) -> bool:
+        """True if a strictly shorter message is ready to transmit
+        (RESEND answered with BUSY to prevent timeouts, Figure 3)."""
+        for other in self.outbound.values():
+            if other is not msg and other.sendable() \
+                    and other.remaining < msg.remaining:
+                return True
+        return False
+
+    def _send_busy(self, resend: Packet) -> None:
+        self.busys_sent += 1
+        self.send_ctrl(Packet(
+            self.hid, resend.src, PacketType.BUSY, prio=CTRL_PRIO,
+            rpc_id=resend.rpc_id, is_request=resend.is_request))
+
+    def _on_busy(self, pkt: Packet) -> None:
+        msg = self.inbound.get(pkt.msg_key)
+        if msg is not None:
+            msg.last_activity_ps = self.sim.now
+        if not pkt.is_request:
+            rpc = self.client_rpcs.get(pkt.rpc_id)
+            if rpc is not None:
+                rpc.last_activity_ps = self.sim.now
+
+    # ------------------------------------------------------------------
+    # timeouts (3.7)
+    # ------------------------------------------------------------------
+
+    def _ensure_timer(self) -> None:
+        if self._timer_event is not None and Simulator.is_pending(self._timer_event):
+            return
+        if not self.inbound and not self.client_rpcs:
+            return
+        self._timer_event = self.sim.schedule(
+            self.cfg.resend_interval_ps // 2, self._timer_fire)
+
+    def _timer_fire(self) -> None:
+        now = self.sim.now
+        interval = self.cfg.resend_interval_ps
+        # Receiver side: granted bytes that never arrived.
+        for msg in list(self.inbound.values()):
+            if now - msg.last_activity_ps < interval:
+                continue
+            horizon = min(msg.granted, msg.length)
+            gap = msg.received.first_gap(horizon)
+            if gap is None:
+                continue  # nothing outstanding: we are the bottleneck
+            msg.resends += 1
+            msg.last_activity_ps = now
+            if msg.resends > self.cfg.max_resends:
+                del self.inbound[msg.key]
+                self._abort_related_rpc(msg)
+                continue
+            self.resends_sent += 1
+            self.send_ctrl(Packet(
+                self.hid, msg.src, PacketType.RESEND, prio=CTRL_PRIO,
+                rpc_id=msg.rpc_id, is_request=msg.is_request,
+                offset=gap[0], range_end=gap[1]))
+        # Client side: responses that never started arriving.
+        for rpc in list(self.client_rpcs.values()):
+            if rpc.response_started:
+                continue  # the inbound scan above covers it
+            if not rpc.request.fully_sent():
+                continue  # still transmitting the request
+            if now - rpc.last_activity_ps < interval:
+                continue
+            rpc.resends += 1
+            rpc.last_activity_ps = now
+            if rpc.resends > self.cfg.max_resends:
+                self._abort_client_rpc(rpc)
+                continue
+            # RESEND for the response, even though the request may have
+            # been lost; the server answers RESEND-for-request if so.
+            self.resends_sent += 1
+            self.send_ctrl(Packet(
+                self.hid, rpc.dst, PacketType.RESEND, prio=CTRL_PRIO,
+                rpc_id=rpc.rpc_id, is_request=False,
+                offset=0, range_end=self.rtt_bytes))
+        self._timer_event = None
+        self._ensure_timer()
+
+    def _abort_related_rpc(self, msg: InboundMessage) -> None:
+        if not msg.is_request:
+            rpc = self.client_rpcs.pop(msg.rpc_id, None)
+            if rpc is not None:
+                self._signal_error(rpc)
+
+    def _abort_client_rpc(self, rpc: ClientRpc) -> None:
+        self.client_rpcs.pop(rpc.rpc_id, None)
+        self.inbound.pop((rpc.rpc_id << 1), None)  # partial response
+        self.outbound.pop((rpc.rpc_id << 1) | 1, None)
+        self._signal_error(rpc)
+
+    def _signal_error(self, rpc: ClientRpc) -> None:
+        self.rpcs_aborted += 1
+        if rpc.on_error is not None:
+            rpc.on_error(rpc.rpc_id)
+
+    # ------------------------------------------------------------------
+    # online priority estimation (3.4)
+    # ------------------------------------------------------------------
+
+    def _cutoffs_to_advertise(self) -> tuple | None:
+        if self.estimator is None:
+            return None
+        return (self.alloc.n_prios, self.alloc.sched_levels,
+                self.alloc.unsched_levels, self.alloc.cutoffs)
+
+    def _adopt_peer_cutoffs(self, peer: int, advert: tuple) -> None:
+        n_prios, sched_levels, unsched_levels, cutoffs = advert
+        current = self.peer_alloc.get(peer)
+        if current is not None and current.cutoffs == tuple(cutoffs):
+            return
+        self.peer_alloc[peer] = PriorityAllocation(
+            n_prios=n_prios, sched_levels=tuple(sched_levels),
+            unsched_levels=tuple(unsched_levels), cutoffs=tuple(cutoffs))
+
+    def _maybe_refresh_allocation(self) -> None:
+        if self.estimator is None or self.sim.now < self._next_refresh_ps:
+            return
+        self._next_refresh_ps = self.sim.now + self.cfg.online_refresh_ps
+        cdf = self.estimator.to_cdf()
+        if cdf is None:
+            return
+        self.alloc = allocate_priorities(
+            cdf, self.unsched_limit, n_prios=self.cfg.n_prios,
+            n_unsched_override=self.cfg.n_unsched_override,
+            n_sched_override=self.cfg.n_sched_override)

@@ -1,0 +1,38 @@
+"""Port probe composition: several collectors sharing one port."""
+
+from __future__ import annotations
+
+from repro.core.port import PortProbe
+
+
+class CompositeProbe(PortProbe):
+    """Fans every port event out to a list of probes."""
+
+    def __init__(self, probes) -> None:
+        self.probes = list(probes)
+
+    def on_queue_change(self, now_ps, qbytes):
+        for probe in self.probes:
+            probe.on_queue_change(now_ps, qbytes)
+
+    def on_busy_change(self, now_ps, busy):
+        for probe in self.probes:
+            probe.on_busy_change(now_ps, busy)
+
+    def on_tx_done(self, now_ps, pkt):
+        for probe in self.probes:
+            probe.on_tx_done(now_ps, pkt)
+
+    def on_drop(self, now_ps, pkt):
+        for probe in self.probes:
+            probe.on_drop(now_ps, pkt)
+
+
+def attach_probe(port, probe: PortProbe) -> None:
+    """Attach a probe to a port, composing with any existing probe."""
+    if port.probe is None:
+        port.probe = probe
+    elif isinstance(port.probe, CompositeProbe):
+        port.probe.probes.append(probe)
+    else:
+        port.probe = CompositeProbe([port.probe, probe])

@@ -1,0 +1,116 @@
+"""Slowdown measurement (the paper's primary metric).
+
+Slowdown = actual completion time / best possible time for a message of
+that size on an unloaded network (section 5.1).  Reports are bucketed by
+message-count deciles, matching the x-axes of Figures 8/9/12/13 ("the
+axis is linear in total number of messages, with ticks corresponding to
+10% of all messages").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.topology import Network
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """Slowdown statistics for one message-size bucket."""
+
+    lo: int          # exclusive lower bound (bytes)
+    hi: int          # inclusive upper bound (bytes)
+    count: int
+    p50: float
+    p99: float
+    mean: float
+
+    def row(self) -> str:
+        return (f"{self.lo + 1:>9}-{self.hi:<9} {self.count:>8} "
+                f"{self.p50:>8.2f} {self.p99:>9.2f} {self.mean:>8.2f}")
+
+
+class SlowdownTracker:
+    """Records per-message slowdowns and produces bucketed reports."""
+
+    def __init__(self, net: Network, *, warmup_ps: int = 0) -> None:
+        self.net = net
+        self.warmup_ps = warmup_ps
+        self.sizes: list[int] = []
+        self.slowdowns: list[float] = []
+
+    def record_oneway(self, src: int, dst: int, size: int,
+                      created_ps: int, completed_ps: int) -> None:
+        """Record a one-way message (the section 5.2 experiments)."""
+        if created_ps < self.warmup_ps:
+            return
+        oracle = self.net.min_oneway_ps(size, self.net.same_rack(src, dst))
+        self._push(size, (completed_ps - created_ps) / oracle)
+
+    def record_rpc(self, src: int, dst: int, request: int, response: int,
+                   created_ps: int, completed_ps: int) -> None:
+        """Record an echo RPC round trip (the section 5.1 experiments).
+        Slowdown is bucketed by the echo payload size, as in Figure 8."""
+        if created_ps < self.warmup_ps:
+            return
+        oracle = self.net.min_rpc_ps(request, response,
+                                     self.net.same_rack(src, dst))
+        self._push(max(request, response),
+                   (completed_ps - created_ps) / oracle)
+
+    def _push(self, size: int, slowdown: float) -> None:
+        self.sizes.append(size)
+        self.slowdowns.append(slowdown)
+
+    @property
+    def count(self) -> int:
+        return len(self.sizes)
+
+    def overall(self, percentile: float) -> float:
+        """Percentile of slowdown across all recorded messages."""
+        if not self.slowdowns:
+            raise ValueError("no messages recorded")
+        return float(np.percentile(self.slowdowns, percentile))
+
+    def bucket_report(self, edges: list[int]) -> list[BucketStats]:
+        """Stats per (edges[i], edges[i+1]] size bucket.
+
+        ``edges`` typically comes from ``Workload.bucket_edges()``:
+        [0, d10, d20, ..., d90, max].
+        """
+        if len(edges) < 2 or edges != sorted(edges):
+            raise ValueError(f"bad bucket edges: {edges}")
+        sizes = np.asarray(self.sizes)
+        slowdowns = np.asarray(self.slowdowns)
+        report = []
+        for i in range(len(edges) - 1):
+            lo, hi = edges[i], edges[i + 1]
+            mask = (sizes > lo) & (sizes <= hi)
+            selected = slowdowns[mask]
+            if selected.size:
+                report.append(BucketStats(
+                    lo=lo, hi=hi, count=int(selected.size),
+                    p50=float(np.percentile(selected, 50)),
+                    p99=float(np.percentile(selected, 99)),
+                    mean=float(selected.mean()),
+                ))
+            else:
+                report.append(BucketStats(lo=lo, hi=hi, count=0,
+                                           p50=float("nan"),
+                                           p99=float("nan"),
+                                           mean=float("nan")))
+        return report
+
+    def series(self, edges: list[int], percentile: float) -> list[float]:
+        """One value per bucket: the figure's y series."""
+        report = self.bucket_report(edges)
+        key = "p99" if percentile == 99 else "p50"
+        return [getattr(b, key) for b in report]
+
+
+def bucket_index(edges: list[int], size: int) -> int:
+    """Bucket index of a size given ascending edges (first edge exclusive)."""
+    return max(0, bisect.bisect_left(edges, size, lo=1) - 1)

@@ -1,0 +1,85 @@
+"""Transport base class.
+
+A transport lives on a host.  The host NIC *pulls* packets from it
+(``next_packet``) whenever the uplink is free, and fully arrived packets
+are *pushed* to it (``on_packet``) after the host software delay.
+Control packets always take precedence over data packets (paper
+section 3.2: "Control packets such as GRANTs and RESENDs are always
+given priority over DATA packets").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet
+from repro.transport.messages import InboundMessage
+
+
+class Transport:
+    """Common state and hooks; protocols override the abstract parts."""
+
+    protocol_name = "base"
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.host = None
+        self.ctrl: deque[Packet] = deque()
+        #: called as fn(inbound_message, completion_time_ps)
+        self.on_message_complete: Optional[Callable[[InboundMessage, int], None]] = None
+        #: messages fully received (count; bodies reported via the hook)
+        self.messages_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # host binding
+    # ------------------------------------------------------------------
+
+    def bind(self, host) -> None:
+        self.host = host
+
+    @property
+    def hid(self) -> int:
+        return self.host.hid
+
+    def kick(self) -> None:
+        """Tell the NIC that new work may be available."""
+        self.host.egress.kick()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send_ctrl(self, pkt: Packet) -> None:
+        """Queue a control packet (highest priority, FIFO)."""
+        self.ctrl.append(pkt)
+        self.kick()
+
+    def next_packet(self) -> Optional[Packet]:
+        """NIC pull: control first, then protocol-chosen data."""
+        if self.ctrl:
+            return self.ctrl.popleft()
+        return self._next_data()
+
+    def _next_data(self) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def send_message(self, dst: int, length: int, **kwargs):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+
+    def on_packet(self, pkt: Packet) -> None:
+        raise NotImplementedError
+
+    def _report_complete(self, message: InboundMessage) -> None:
+        """Mark an inbound message complete and notify the application."""
+        message.completed = True
+        self.messages_received += 1
+        self.bytes_received += message.length
+        if self.on_message_complete is not None:
+            self.on_message_complete(message, self.sim.now)

@@ -1,0 +1,251 @@
+"""Message state machines shared by every transport.
+
+``Intervals`` tracks which byte ranges of a message have arrived; data
+packets may arrive in any order because of per-packet spraying (paper
+section 3.3: "The DATA packets for a message can arrive in any order;
+the receiver collates them using the offsets in each packet").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.packet import MAX_PAYLOAD
+
+
+class Intervals:
+    """A set of disjoint, sorted half-open byte ranges [start, end)."""
+
+    __slots__ = ("_ranges", "total")
+
+    def __init__(self) -> None:
+        self._ranges: list[list[int]] = []
+        self.total = 0
+
+    def add(self, start: int, end: int) -> int:
+        """Insert a range; returns the number of newly covered bytes."""
+        if end <= start:
+            return 0
+        ranges = self._ranges
+        if not ranges or start > ranges[-1][1]:
+            ranges.append([start, end])  # fast path: append at the end
+            self.total += end - start
+            return end - start
+        if start == ranges[-1][1]:  # fast path: contiguous arrival
+            added = end - start
+            ranges[-1][1] = end
+            self.total += added
+            return added
+        # General case: merge into place.
+        new_ranges: list[list[int]] = []
+        added = end - start
+        ns, ne = start, end
+        inserted = False
+        for s, e in ranges:
+            if e < ns:
+                new_ranges.append([s, e])
+            elif s > ne:
+                if not inserted:
+                    new_ranges.append([ns, ne])
+                    inserted = True
+                new_ranges.append([s, e])
+            else:  # overlap: fold existing range into the new one
+                added -= min(e, ne) - max(s, ns)
+                ns, ne = min(s, ns), max(e, ne)
+        if not inserted:
+            new_ranges.append([ns, ne])
+        new_ranges.sort()
+        self._ranges = new_ranges
+        self.total += added
+        return added
+
+    def covers(self, start: int, end: int) -> bool:
+        """True if [start, end) is fully contained."""
+        for s, e in self._ranges:
+            if s <= start and end <= e:
+                return True
+        return False
+
+    def first_gap(self, upto: int) -> Optional[tuple[int, int]]:
+        """First missing range below ``upto`` (for RESEND requests)."""
+        cursor = 0
+        for s, e in self._ranges:
+            if cursor < s:
+                return (cursor, min(s, upto))
+            cursor = max(cursor, e)
+            if cursor >= upto:
+                return None
+        if cursor < upto:
+            return (cursor, upto)
+        return None
+
+    def contiguous_prefix(self) -> int:
+        """Bytes received in order from offset 0 (stream delivery point)."""
+        ranges = self._ranges
+        if ranges and ranges[0][0] == 0:
+            return ranges[0][1]
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+
+class OutboundMessage:
+    """Sender-side view of one message.
+
+    ``granted`` is the highest byte offset the sender may transmit;
+    unscheduled bytes count as granted from creation.  ``sent`` advances
+    as packets are handed to the NIC.  Retransmission requests queue in
+    ``rtx`` and take precedence within the message.
+    """
+
+    __slots__ = (
+        "rpc_id", "is_request", "src", "dst", "length", "sent", "granted",
+        "grant_prio", "unsched_limit", "created_ps", "rtx", "app_meta",
+        "incast", "acked", "cwnd", "in_flight", "done",
+    )
+
+    def __init__(
+        self,
+        rpc_id: int,
+        is_request: bool,
+        src: int,
+        dst: int,
+        length: int,
+        *,
+        unsched_limit: int,
+        created_ps: int,
+        app_meta: int | None = None,
+    ) -> None:
+        if length <= 0:
+            raise ValueError(f"message length must be positive, got {length}")
+        self.rpc_id = rpc_id
+        self.is_request = is_request
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.sent = 0
+        self.unsched_limit = unsched_limit
+        self.granted = min(length, unsched_limit)
+        self.grant_prio = 0
+        self.created_ps = created_ps
+        self.rtx: deque[list[int]] = deque()
+        self.app_meta = app_meta
+        self.incast = False
+        # Fields used by window-based baselines (pFabric / PIAS / stream):
+        self.acked = Intervals()
+        self.cwnd = 0
+        self.in_flight = 0
+        self.done = False
+
+    @property
+    def key(self) -> int:
+        return (self.rpc_id << 1) | (1 if self.is_request else 0)
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet sent (the sender's SRPT metric)."""
+        return self.length - self.sent
+
+    def grant_to(self, offset: int, prio: int) -> None:
+        """Apply a GRANT: extend the transmittable region."""
+        if offset > self.granted:
+            self.granted = min(offset, self.length)
+        self.grant_prio = prio
+
+    def queue_rtx(self, start: int, end: int) -> None:
+        """Queue a byte range for retransmission."""
+        end = min(end, self.length)
+        if end > start:
+            self.rtx.append([start, end])
+
+    def sendable(self) -> bool:
+        return bool(self.rtx) or self.sent < min(self.granted, self.length)
+
+    def fully_sent(self) -> bool:
+        return self.sent >= self.length and not self.rtx
+
+    def next_chunk(self) -> Optional[tuple[int, int, bool]]:
+        """Next (offset, size, is_retransmission) to put on the wire."""
+        if self.rtx:
+            chunk = self.rtx[0]
+            offset = chunk[0]
+            size = min(MAX_PAYLOAD, chunk[1] - offset)
+            chunk[0] += size
+            if chunk[0] >= chunk[1]:
+                self.rtx.popleft()
+            return (offset, size, True)
+        limit = min(self.granted, self.length)
+        if self.sent < limit:
+            offset = self.sent
+            size = min(MAX_PAYLOAD, limit - offset)
+            self.sent += size
+            return (offset, size, False)
+        return None
+
+
+class InboundMessage:
+    """Receiver-side view of one message."""
+
+    __slots__ = (
+        "rpc_id", "is_request", "src", "dst", "length", "received",
+        "granted", "sched_prio", "first_arrival_ps", "last_activity_ps",
+        "resends", "completed", "app_meta", "incast", "created_ps",
+    )
+
+    def __init__(
+        self,
+        rpc_id: int,
+        is_request: bool,
+        src: int,
+        dst: int,
+        length: int,
+        *,
+        now_ps: int,
+    ) -> None:
+        self.rpc_id = rpc_id
+        self.is_request = is_request
+        self.src = src
+        self.dst = dst
+        self.length = length
+        self.received = Intervals()
+        self.granted = 0          # highest offset known granted/unscheduled
+        self.sched_prio = 0
+        self.first_arrival_ps = now_ps
+        self.last_activity_ps = now_ps
+        self.resends = 0
+        self.completed = False
+        self.app_meta: int | None = None
+        self.incast = False
+        self.created_ps = now_ps  # overwritten with the sender's stamp
+
+    @property
+    def key(self) -> int:
+        return (self.rpc_id << 1) | (1 if self.is_request else 0)
+
+    @property
+    def bytes_received(self) -> int:
+        return self.received.total
+
+    @property
+    def request_length(self) -> int:
+        """Alias so RPC server handlers can treat a completed inbound
+        request interchangeably with Homa's ServerRpc."""
+        return self.length
+
+    @property
+    def bytes_remaining(self) -> int:
+        """Bytes still missing (the receiver's SRPT metric)."""
+        return self.length - self.received.total
+
+    def record(self, offset: int, payload: int, now_ps: int) -> int:
+        """Register an arrived data range; returns newly received bytes."""
+        self.last_activity_ps = now_ps
+        added = self.received.add(offset, min(offset + payload, self.length))
+        if added:
+            self.resends = 0  # progress resets the retry budget
+        return added
+
+    def is_complete(self) -> bool:
+        return self.received.total >= self.length

@@ -1,0 +1,63 @@
+"""Reading and writing message-size distributions as text files.
+
+The format is the one used by the original Homa/pHost simulator
+repositories: one ``size cumulative_probability`` pair per line,
+optionally preceded by comment lines starting with ``#``::
+
+    # my production RPC sizes
+    1 0.0
+    128 0.35
+    512 0.80
+    1048576 1.0
+
+This lets a downstream user drop in their own measured distribution and
+run every experiment in this repository against it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.workloads.distributions import EmpiricalCDF
+
+
+def load_cdf(path: str | Path, *, unit_bytes: int = 1,
+             name: str = "") -> EmpiricalCDF:
+    """Parse a size/probability file into an EmpiricalCDF."""
+    path = Path(path)
+    anchors: list[tuple[float, float]] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{lineno}: expected 'size prob', "
+                             f"got {raw!r}")
+        try:
+            size, prob = float(parts[0]), float(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+        anchors.append((prob, size))
+    if not anchors:
+        raise ValueError(f"{path}: no data lines")
+    anchors.sort()
+    # Normalize: the format sometimes starts above 0; pin the minimum.
+    if anchors[0][0] != 0.0:
+        anchors.insert(0, (0.0, max(1.0, anchors[0][1] - 1)))
+    if anchors[-1][0] != 1.0:
+        raise ValueError(f"{path}: distribution must end at probability 1.0")
+    return EmpiricalCDF(anchors, unit_bytes=unit_bytes,
+                        name=name or path.stem)
+
+
+def save_cdf(cdf: EmpiricalCDF, path: str | Path,
+             *, comment: str = "") -> None:
+    """Write a distribution in the simulator-compatible text format."""
+    path = Path(path)
+    lines = []
+    if comment:
+        lines.append(f"# {comment}")
+    for q, size in zip(cdf._qs, cdf._sizes):
+        lines.append(f"{size:g} {q:g}")
+    path.write_text("\n".join(lines) + "\n")

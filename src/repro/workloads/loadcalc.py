@@ -1,0 +1,121 @@
+"""Offered-load computation.
+
+The paper defines network load as "the percentage of available network
+bandwidth consumed by goodput packets; this includes application-level
+data plus the minimum overhead (packet headers, inter-packet gaps, and
+control packets) required by the protocol".  To hit a target load we
+therefore need, per protocol, the expected on-wire bytes per message —
+data framing plus the protocol's control packets — and from that the
+Poisson message arrival rate per host.
+
+Estimates are Monte-Carlo over the size distribution (deterministic
+seed), because per-packet framing is a step function of message size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import (
+    ETH_OVERHEAD,
+    HEADER_BYTES,
+    MAX_PAYLOAD,
+    MIN_WIRE,
+)
+from repro.core.units import bytes_per_sec
+from repro.workloads.distributions import EmpiricalCDF
+
+#: per-data-packet framing overhead beyond payload
+_PKT_OVERHEAD = HEADER_BYTES + ETH_OVERHEAD
+
+#: protocols with a control-packet cost model
+PROTOCOLS = ("homa", "basic", "pfabric", "phost", "pias", "ndp", "stream")
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Expected per-message quantities under a size distribution."""
+
+    mean_bytes: float          # application bytes
+    mean_data_wire: float      # on-wire bytes of the data packets
+    mean_packets: float        # data packets per message
+    mean_sched_packets: float  # packets beyond the unscheduled limit
+
+
+def estimate_traffic(
+    cdf: EmpiricalCDF,
+    unsched_limit: int,
+    *,
+    samples: int = 200_000,
+    seed: int = 20180821,  # SIGCOMM'18 presentation date: fixed, arbitrary
+) -> TrafficEstimate:
+    """Monte-Carlo estimate of per-message traffic quantities."""
+    rng = np.random.default_rng(seed)
+    sizes = cdf.sample(rng, samples).astype(np.float64)
+    packets = np.ceil(sizes / MAX_PAYLOAD)
+    tail = sizes - (packets - 1) * MAX_PAYLOAD
+    tail_wire = np.maximum(MIN_WIRE, tail + _PKT_OVERHEAD)
+    data_wire = (packets - 1) * (MAX_PAYLOAD + _PKT_OVERHEAD) + tail_wire
+    sched_bytes = np.maximum(0.0, sizes - unsched_limit)
+    sched_packets = np.ceil(sched_bytes / MAX_PAYLOAD)
+    return TrafficEstimate(
+        mean_bytes=float(sizes.mean()),
+        mean_data_wire=float(data_wire.mean()),
+        mean_packets=float(packets.mean()),
+        mean_sched_packets=float(sched_packets.mean()),
+    )
+
+
+def per_message_wire_bytes(protocol: str, traffic: TrafficEstimate) -> float:
+    """Expected wire bytes per message including control packets."""
+    data = traffic.mean_data_wire
+    if protocol in ("homa", "basic"):
+        # One GRANT per scheduled data packet.
+        return data + traffic.mean_sched_packets * MIN_WIRE
+    if protocol == "pfabric":
+        # Per-packet ACKs.
+        return data + traffic.mean_packets * MIN_WIRE
+    if protocol == "phost":
+        # RTS plus one token per scheduled packet.
+        return data + MIN_WIRE + traffic.mean_sched_packets * MIN_WIRE
+    if protocol == "pias":
+        # DCTCP-style per-packet ACKs.
+        return data + traffic.mean_packets * MIN_WIRE
+    if protocol == "ndp":
+        # Per-packet ACKs plus one PULL per post-window packet.
+        return (data + traffic.mean_packets * MIN_WIRE
+                + traffic.mean_sched_packets * MIN_WIRE)
+    if protocol == "stream":
+        # Cumulative ACK roughly every other packet.
+        return data + 0.5 * traffic.mean_packets * MIN_WIRE
+    raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
+
+
+def arrival_rate_per_host(
+    protocol: str,
+    cdf: EmpiricalCDF,
+    load: float,
+    *,
+    link_gbps: int = 10,
+    unsched_limit: int = 9680,
+    samples: int = 200_000,
+) -> float:
+    """Poisson message rate (messages/second) per sending host.
+
+    With uniformly random destinations, offering ``load`` on each host's
+    uplink also offers ``load`` on each downlink in expectation.
+    """
+    if not 0.0 < load < 1.0:
+        raise ValueError(f"load must be in (0, 1), got {load}")
+    traffic = estimate_traffic(cdf, unsched_limit, samples=samples)
+    wire = per_message_wire_bytes(protocol, traffic)
+    return load * bytes_per_sec(link_gbps) / wire
+
+
+def mean_interarrival_ps(rate_per_sec: float) -> float:
+    """Mean interarrival time in picoseconds for a Poisson process."""
+    if rate_per_sec <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_sec}")
+    return 1e12 / rate_per_sec

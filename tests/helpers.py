@@ -1,0 +1,57 @@
+"""Shared test fixtures: small networks with Homa transports attached."""
+
+from __future__ import annotations
+
+from repro.core.engine import Simulator
+from repro.core.topology import Network, NetworkConfig, build_network
+from repro.homa.config import HomaConfig
+from repro.homa.priorities import allocate_priorities
+from repro.homa.transport import HomaTransport
+from repro.workloads.catalog import get_workload
+
+
+def small_net(racks=1, hosts_per_rack=4, aggrs=0, **overrides):
+    """A small single- or multi-rack network."""
+    sim = Simulator()
+    cfg = NetworkConfig(racks=racks, hosts_per_rack=hosts_per_rack,
+                        aggrs=aggrs, **overrides)
+    return sim, build_network(sim, cfg)
+
+
+def homa_cluster(
+    racks=1,
+    hosts_per_rack=4,
+    aggrs=0,
+    homa_cfg: HomaConfig | None = None,
+    workload: str = "W3",
+    **net_overrides,
+):
+    """Network + one HomaTransport per host, statically allocated."""
+    sim, net = small_net(racks, hosts_per_rack, aggrs, **net_overrides)
+    cfg = homa_cfg or HomaConfig()
+    rtt = net.rtt_bytes()
+    unsched = cfg.resolved_unsched_limit(rtt)
+    alloc = allocate_priorities(
+        get_workload(workload).cdf, unsched,
+        n_prios=cfg.n_prios,
+        n_unsched_override=cfg.n_unsched_override,
+        n_sched_override=cfg.n_sched_override,
+        cutoff_override=cfg.cutoff_override,
+    )
+    transports = net.attach_transports(
+        lambda host: HomaTransport(sim, cfg, alloc, rtt))
+    return sim, net, transports
+
+
+def collect_completions(transports):
+    """Attach completion recorders; returns the shared record list."""
+    records = []
+
+    def make_hook(hid):
+        def hook(msg, now):
+            records.append((hid, msg, now))
+        return hook
+
+    for transport in transports:
+        transport.on_message_complete = make_hook(transport.hid)
+    return records

@@ -1,0 +1,122 @@
+"""Tests for the traffic-generating applications."""
+
+import pytest
+
+from repro.apps.echo import EchoClient, attach_echo_workload, echo_handler
+from repro.apps.incast import IncastClient
+from repro.apps.openloop import OpenLoopSender, attach_openloop_workload
+from repro.core.units import MS
+from repro.workloads.catalog import WORKLOADS
+
+from tests.helpers import collect_completions, homa_cluster
+
+
+def test_openloop_generates_near_requested_rate():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    rate = 200_000.0  # messages/sec/host
+    senders = attach_openloop_workload(
+        net, transports, WORKLOADS["W1"].cdf, rate,
+        stop_ps=int(5 * MS), seed=5)
+    sim.run(until_ps=5 * MS)
+    expected = rate * 0.005
+    for sender in senders:
+        assert expected * 0.6 < sender.submitted < expected * 1.5
+
+
+def test_openloop_respects_stop_time():
+    sim, net, transports = homa_cluster()
+    senders = attach_openloop_workload(
+        net, transports, WORKLOADS["W1"].cdf, 1e6,
+        stop_ps=int(1 * MS), seed=2)
+    sim.run(until_ps=10 * MS)
+    count_at_stop = sum(s.submitted for s in senders)
+    sim.run(until_ps=20 * MS)
+    assert sum(s.submitted for s in senders) == count_at_stop
+
+
+def test_openloop_respects_message_cap():
+    sim, net, transports = homa_cluster()
+    senders = attach_openloop_workload(
+        net, transports, WORKLOADS["W1"].cdf, 1e6,
+        stop_ps=int(100 * MS), seed=3, max_messages_total=40)
+    sim.run(until_ps=100 * MS)
+    assert sum(s.submitted for s in senders) <= 40
+
+
+def test_openloop_uniform_destinations():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    records = collect_completions(transports)
+    attach_openloop_workload(net, transports, WORKLOADS["W1"].cdf,
+                             500_000, stop_ps=int(3 * MS), seed=7)
+    sim.run(until_ps=10 * MS)
+    destinations = {hid for hid, _, _ in records}
+    assert len(destinations) == 8  # every host receives something
+
+
+def test_openloop_never_sends_to_self():
+    sim, net, transports = homa_cluster()
+    records = collect_completions(transports)
+    attach_openloop_workload(net, transports, WORKLOADS["W1"].cdf,
+                             500_000, stop_ps=int(2 * MS), seed=9)
+    sim.run(until_ps=10 * MS)
+    for hid, msg, _ in records:
+        assert msg.src != hid
+
+
+def test_echo_workload_client_server_split():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    done = []
+    clients = attach_echo_workload(
+        net, transports, WORKLOADS["W1"].cdf, 100_000,
+        stop_ps=int(3 * MS), seed=1,
+        on_complete=lambda *args: done.append(args))
+    sim.run(until_ps=20 * MS)
+    assert len(clients) == 4  # half the hosts
+    assert done
+    for src, dst, size, t0, t1 in done:
+        assert src < 4 and dst >= 4
+        assert t1 > t0
+
+
+def test_echo_response_matches_request_size():
+    sim, net, transports = homa_cluster()
+    transports[1].rpc_handler = echo_handler
+    sizes = []
+    client = EchoClient(sim, transports[0], [1], WORKLOADS["W1"].cdf,
+                        50_000, seed=3, stop_ps=int(4 * MS),
+                        on_complete=lambda src, dst, size, t0, t1:
+                        sizes.append(size))
+    sim.run(until_ps=30 * MS)
+    assert client.completed == client.submitted > 0
+    assert client.errors == 0
+
+
+def test_incast_client_keeps_concurrency():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+    client = IncastClient(sim, transports[0], list(range(1, 8)), 16)
+    assert len(transports[0].client_rpcs) == 16
+    sim.run(until_ps=10 * MS)
+    # Completions are replaced one for one.
+    assert len(transports[0].client_rpcs) == 16
+    assert client.completed > 0
+
+
+def test_incast_client_goodput_positive():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+    client = IncastClient(sim, transports[0], list(range(1, 8)), 8)
+    sim.run(until_ps=10 * MS)
+    assert 0.0 < client.goodput_gbps() <= 10.0
+
+
+def test_incast_round_robins_servers():
+    sim, net, transports = homa_cluster(hosts_per_rack=8)
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+    client = IncastClient(sim, transports[0], list(range(1, 8)), 14)
+    destinations = [rpc.dst for rpc in transports[0].client_rpcs.values()]
+    assert all(destinations.count(d) == 2 for d in range(1, 8))
+    sim.run(until_ps=5 * MS)

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_workloads_command(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for key in ("W1", "W2", "W3", "W4", "W5"):
+        assert key in out
+
+
+def test_alloc_command(capsys):
+    assert main(["alloc", "W2"]) == 0
+    out = capsys.readouterr().out
+    assert "6 unscheduled + 2 scheduled" in out
+    assert "P7" in out
+
+
+def test_alloc_command_with_prios(capsys):
+    assert main(["alloc", "W3", "--prios", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "scheduled" in out
+
+
+def test_run_command_small(capsys):
+    code = main([
+        "run", "--protocol", "homa", "--workload", "W1",
+        "--load", "0.3", "--racks", "1", "--hosts-per-rack", "4",
+        "--aggrs", "0", "--duration-ms", "0.5", "--warmup-ms", "0",
+        "--drain-ms", "4", "--max-messages", "200",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "p99" in out
+    assert "finish rate" in out
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "quic"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,113 @@
+"""Tests for HomaConfig and the protocol registry."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.packet import FULL_WIRE
+from repro.core.topology import NetworkConfig, build_network
+from repro.homa.config import HomaConfig
+from repro.homa.transport import HomaTransport
+from repro.transport.registry import (
+    OVERHEAD_MODEL,
+    PROTOCOLS,
+    network_overrides,
+    transport_factory,
+)
+from repro.workloads.catalog import WORKLOADS
+
+
+def test_config_defaults_match_paper():
+    cfg = HomaConfig()
+    assert cfg.n_prios == 8
+    assert cfg.incast_control
+    assert cfg.resend_interval_ps == 2_000_000_000  # "a few milliseconds"
+
+
+def test_resolved_unsched_limit_packet_aligned():
+    cfg = HomaConfig()
+    # 9680 RTTbytes -> 7 packets -> 10220 ("about 10 KB", section 2.2).
+    assert cfg.resolved_unsched_limit(9680) == 10220
+    assert cfg.resolved_unsched_limit(9680) % 1460 == 0
+
+
+def test_resolved_unsched_limit_override():
+    cfg = HomaConfig(unsched_limit=500)
+    assert cfg.resolved_unsched_limit(9680) == 500
+
+
+def test_with_prios_validation():
+    cfg = HomaConfig().with_prios(4)
+    assert cfg.n_prios == 4
+    with pytest.raises(ValueError):
+        HomaConfig().with_prios(0)
+    with pytest.raises(ValueError):
+        HomaConfig().with_prios(9)
+
+
+def test_basic_config():
+    cfg = HomaConfig.basic()
+    assert cfg.n_prios == 1
+    assert cfg.unlimited_overcommit
+
+
+def test_network_overrides():
+    assert network_overrides("homa") == {}
+    assert network_overrides("pfabric") == {"queue_mode": "pfabric"}
+    assert "ecn_threshold_bytes" in network_overrides("pias")
+    assert network_overrides("ndp") == {"trim_threshold_bytes": 8 * FULL_WIRE}
+    with pytest.raises(ValueError):
+        network_overrides("swift")
+
+
+def test_overhead_model_covers_all_protocols():
+    assert set(OVERHEAD_MODEL) == set(PROTOCOLS)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_factory_builds_every_protocol(protocol):
+    sim = Simulator()
+    overrides = network_overrides(protocol)
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=2,
+                                           aggrs=0, **overrides))
+    factory = transport_factory(protocol, sim, net, WORKLOADS["W3"].cdf)
+    transports = net.attach_transports(lambda host: factory(host))
+    assert len(transports) == 2
+    assert all(t.host is not None for t in transports)
+
+
+def test_factory_rejects_unknown():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=2,
+                                           aggrs=0))
+    with pytest.raises(ValueError):
+        transport_factory("dctcp", sim, net, WORKLOADS["W1"].cdf)
+
+
+def test_homa_factory_respects_config():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=2,
+                                           aggrs=0))
+    cfg = HomaConfig(n_prios=2)
+    factory = transport_factory("homa", sim, net, WORKLOADS["W3"].cdf, cfg)
+    transport = factory(net.hosts[0])
+    assert isinstance(transport, HomaTransport)
+    assert transport.alloc.n_prios == 2
+
+
+def test_basic_factory_uses_basic_config():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=2,
+                                           aggrs=0))
+    factory = transport_factory("basic", sim, net, WORKLOADS["W3"].cdf)
+    transport = factory(net.hosts[0])
+    assert transport.cfg.unlimited_overcommit
+    assert transport.alloc.n_prios == 1
+
+
+def test_stream_mc_factory_multi_connection():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig(racks=1, hosts_per_rack=2,
+                                           aggrs=0))
+    factory = transport_factory("stream_mc", sim, net, WORKLOADS["W3"].cdf)
+    transport = factory(net.hosts[0])
+    assert transport.connections_per_pair == 8

@@ -1,0 +1,112 @@
+"""Tests for the Figure 14 delay decomposition collector."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet, PacketType
+from repro.core.topology import NetworkConfig, build_network
+from repro.metrics.delays import DelayDecomposition, MessageDelays
+
+
+class _Sink:
+    def bind(self, host):
+        pass
+
+    def on_packet(self, pkt):
+        pass
+
+    def next_packet(self):
+        return None
+
+
+def make_collector():
+    net = build_network(Simulator(), NetworkConfig(racks=1,
+                                                   hosts_per_rack=2,
+                                                   aggrs=0))
+    net.attach_transports(lambda host: _Sink())
+    return net, DelayDecomposition(net)
+
+
+def test_enables_tracing_on_switch_ports():
+    net, collector = make_collector()
+    assert all(port.trace_delays for port in net.all_switch_ports())
+
+
+def test_accumulates_packet_waits():
+    net, collector = make_collector()
+    pkt = Packet(0, 1, PacketType.DATA, rpc_id=5, payload=100,
+                 total_length=100)
+    pkt.q_wait = 1000
+    pkt.p_wait = 2000
+    collector.on_data_packet(pkt)
+    collector.on_complete(pkt.msg_key)
+    assert collector.records == [
+        MessageDelays(size=100, q_wait_ps=1000, p_wait_ps=2000)]
+
+
+def test_multiple_packets_summed():
+    net, collector = make_collector()
+    for offset in (0, 1460):
+        pkt = Packet(0, 1, PacketType.DATA, rpc_id=6, payload=1460,
+                     offset=offset, total_length=2920)
+        pkt.q_wait = 500
+        collector.on_data_packet(pkt)
+    collector.on_complete((6 << 1) | 1)
+    assert collector.records[0].q_wait_ps == 1000
+
+
+def test_sender_side_residual_charged():
+    net, collector = make_collector()
+    host = net.hosts[0]
+    sim = net.sim
+    # Occupy the uplink with a low-priority full packet.
+    blocker = Packet(0, 1, PacketType.DATA, prio=0, payload=1460,
+                     rpc_id=1, total_length=1_000_000)
+    host.egress._transmit(blocker)
+    sim.run(until_ps=100_000)  # mid-transmission
+    collector.on_submit(host, msg_key=99, length=100, prio=7)
+    entry = collector._accumulating[99]
+    assert entry[1] > 0  # preemption lag (blocker has lower priority)
+    assert entry[0] == 0
+    sim.run()
+
+
+def test_sender_side_same_prio_counts_as_queueing():
+    net, collector = make_collector()
+    host = net.hosts[0]
+    blocker = Packet(0, 1, PacketType.DATA, prio=7, payload=1460,
+                     rpc_id=1, total_length=1460)
+    host.egress._transmit(blocker)
+    net.sim.run(until_ps=100_000)
+    collector.on_submit(host, msg_key=98, length=100, prio=7)
+    entry = collector._accumulating[98]
+    assert entry[0] > 0 and entry[1] == 0
+    net.sim.run()
+
+
+def test_tail_breakdown_empty():
+    net, collector = make_collector()
+    assert collector.tail_breakdown() == (0.0, 0.0)
+
+
+def test_tail_breakdown_selects_short_messages():
+    net, collector = make_collector()
+    # 80 short messages with small waits, 20 long ones with huge waits.
+    for index in range(80):
+        collector.records.append(MessageDelays(100, 1_000_000, 2_000_000))
+    for index in range(20):
+        collector.records.append(MessageDelays(1_000_000, 9_000_000_000,
+                                               9_000_000_000))
+    q_us, p_us = collector.tail_breakdown(size_percentile=20.0)
+    # Only the short messages are considered: ~1 and ~2 us.
+    assert q_us == pytest.approx(1.0, rel=0.05)
+    assert p_us == pytest.approx(2.0, rel=0.05)
+
+
+def test_tail_breakdown_window_is_high_percentile():
+    net, collector = make_collector()
+    for wait in range(100):
+        collector.records.append(MessageDelays(100, wait * 1_000_000, 0))
+    q_us, _ = collector.tail_breakdown(size_percentile=100.0,
+                                       tail_lo=98.0, tail_hi=100.0)
+    assert q_us >= 97.0  # only the top of the distribution

@@ -1,0 +1,208 @@
+"""Unit + property tests for EmpiricalCDF."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import EmpiricalCDF
+
+
+def simple_cdf(unit=1):
+    return EmpiricalCDF(
+        [(0.0, 10), (0.5, 100), (1.0, 1000)], unit_bytes=unit, name="test")
+
+
+def test_rejects_bad_quantile_span():
+    with pytest.raises(ValueError):
+        EmpiricalCDF([(0.1, 1), (1.0, 10)])
+    with pytest.raises(ValueError):
+        EmpiricalCDF([(0.0, 1), (0.9, 10)])
+
+
+def test_rejects_non_increasing_quantiles():
+    with pytest.raises(ValueError):
+        EmpiricalCDF([(0.0, 1), (0.5, 5), (0.5, 7), (1.0, 10)])
+
+
+def test_rejects_decreasing_sizes():
+    with pytest.raises(ValueError):
+        EmpiricalCDF([(0.0, 10), (0.5, 5), (1.0, 20)])
+
+
+def test_rejects_single_anchor():
+    with pytest.raises(ValueError):
+        EmpiricalCDF([(0.0, 1)])
+
+
+def test_samples_within_bounds():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(1)
+    sizes = cdf.sample(rng, 10_000)
+    assert sizes.min() >= 10
+    assert sizes.max() <= 1000
+
+
+def test_sample_one_matches_bounds():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(2)
+    for _ in range(100):
+        assert 10 <= cdf.sample_one(rng) <= 1000
+
+
+def test_unit_bytes_makes_multiples():
+    cdf = simple_cdf(unit=1460)
+    rng = np.random.default_rng(3)
+    sizes = cdf.sample(rng, 1000)
+    assert (sizes % 1460 == 0).all()
+    assert sizes.min() >= 1460
+
+
+def test_median_sample_near_anchor():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(4)
+    sizes = cdf.sample(rng, 50_000)
+    median = np.median(sizes)
+    assert 90 <= median <= 110  # anchor says exactly 100 at q=0.5
+
+
+def test_mass_below_at_anchors():
+    cdf = simple_cdf()
+    assert cdf.mass_below(10) == pytest.approx(0.0, abs=1e-9)
+    assert cdf.mass_below(100) == pytest.approx(0.5, abs=1e-9)
+    assert cdf.mass_below(1000) == pytest.approx(1.0, abs=1e-9)
+    assert cdf.mass_below(5000) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_quantile_inverts_mass_below():
+    cdf = simple_cdf()
+    for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+        size = cdf.quantile(q)
+        assert cdf.mass_below(size) == pytest.approx(q, abs=0.01)
+
+
+def test_quantile_out_of_range():
+    with pytest.raises(ValueError):
+        simple_cdf().quantile(1.5)
+
+
+def test_mean_matches_monte_carlo():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(5)
+    sampled = cdf.sample(rng, 400_000).mean()
+    assert cdf.mean() == pytest.approx(sampled, rel=0.02)
+
+
+def test_mean_truncated_matches_monte_carlo():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(6)
+    sizes = cdf.sample(rng, 400_000)
+    cap = 150
+    assert cdf.mean_truncated(cap) == pytest.approx(
+        np.minimum(sizes, cap).mean(), rel=0.02)
+
+
+def test_partial_mean_full_range_equals_mean():
+    cdf = simple_cdf()
+    assert cdf.partial_mean(cdf.max_bytes()) == pytest.approx(cdf.mean())
+
+
+def test_unsched_mass_below_composition():
+    cdf = simple_cdf()
+    cap = 200
+    total = cdf.unsched_mass_below(cdf.max_bytes(), cap)
+    assert total == pytest.approx(cdf.mean_truncated(cap), rel=1e-9)
+
+
+def test_unsched_mass_below_monte_carlo():
+    cdf = simple_cdf()
+    rng = np.random.default_rng(7)
+    sizes = cdf.sample(rng, 400_000)
+    cap, cut = 200, 400
+    expected = np.where(sizes <= cut, np.minimum(sizes, cap), 0).mean()
+    assert cdf.unsched_mass_below(cut, cap) == pytest.approx(expected, rel=0.03)
+
+
+def test_byte_fraction_below_is_one_at_max():
+    cdf = simple_cdf()
+    assert cdf.byte_fraction_below(cdf.max_bytes()) == pytest.approx(1.0)
+
+
+def test_deciles_are_monotone():
+    deciles = simple_cdf().deciles()
+    assert deciles == sorted(deciles)
+    assert len(deciles) == 9
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def cdf_anchors(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    qs = sorted(draw(st.lists(
+        st.floats(min_value=0.01, max_value=0.99),
+        min_size=n - 2, max_size=n - 2, unique=True)))
+    qs = [0.0] + qs + [1.0]
+    sizes = sorted(draw(st.lists(
+        st.integers(min_value=1, max_value=10**7),
+        min_size=n, max_size=n, unique=True)))
+    return list(zip(qs, sizes))
+
+
+@given(cdf_anchors(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80, deadline=None)
+def test_prop_quantile_within_bounds(anchors, q):
+    cdf = EmpiricalCDF(anchors)
+    size = cdf.quantile(q)
+    assert cdf.min_bytes() <= size <= cdf.max_bytes()
+
+
+@given(cdf_anchors(), st.integers(min_value=1, max_value=10**7),
+       st.integers(min_value=1, max_value=10**7))
+@settings(max_examples=80, deadline=None)
+def test_prop_mass_below_monotone(anchors, s1, s2):
+    cdf = EmpiricalCDF(anchors)
+    low, high = min(s1, s2), max(s1, s2)
+    assert cdf.mass_below(low) <= cdf.mass_below(high) + 1e-12
+
+
+@given(cdf_anchors(), st.integers(min_value=1, max_value=10**7))
+@settings(max_examples=80, deadline=None)
+def test_prop_partial_mean_bounded_by_mean(anchors, size):
+    cdf = EmpiricalCDF(anchors)
+    assert -1e-9 <= cdf.partial_mean(size) <= cdf.mean() + 1e-6
+
+
+@given(cdf_anchors(), st.integers(min_value=1, max_value=10**7))
+@settings(max_examples=80, deadline=None)
+def test_prop_mean_truncated_bounds(anchors, cap):
+    cdf = EmpiricalCDF(anchors)
+    truncated = cdf.mean_truncated(cap)
+    assert truncated <= cdf.mean() + 1e-6
+    assert truncated <= cap + 1e-6
+
+
+@given(cdf_anchors())
+@settings(max_examples=50, deadline=None)
+def test_prop_samples_respect_support(anchors):
+    cdf = EmpiricalCDF(anchors)
+    rng = np.random.default_rng(0)
+    sizes = cdf.sample(rng, 500)
+    assert sizes.min() >= cdf.min_bytes()
+    assert sizes.max() <= cdf.max_bytes()
+
+
+@given(cdf_anchors())
+@settings(max_examples=30, deadline=None)
+def test_prop_mean_close_to_monte_carlo(anchors):
+    cdf = EmpiricalCDF(anchors)
+    rng = np.random.default_rng(1)
+    sampled = cdf.sample(rng, 60_000).astype(float).mean()
+    analytic = cdf.mean()
+    # Log-linear rounding of tiny sizes costs a little accuracy.
+    assert math.isclose(analytic, sampled, rel_tol=0.15, abs_tol=2.0)

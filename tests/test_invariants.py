@@ -1,0 +1,141 @@
+"""Property-based end-to-end invariants of the Homa implementation.
+
+Hypothesis drives randomized message schedules through a real network
+and checks the properties the protocol must never violate:
+
+* conservation — every submitted message is delivered exactly once;
+* physicality — nothing completes faster than the unloaded oracle;
+* flow control — granted-but-unreceived never exceeds RTTbytes
+  (modulo packet rounding) for any inbound message;
+* overcommitment — the number of simultaneously granted-but-unfinished
+  messages never exceeds the configured degree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import MS
+from repro.homa.config import HomaConfig
+
+from tests.helpers import collect_completions, homa_cluster
+
+# A schedule is a list of (src, dst_offset, size, gap_us) tuples.
+schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),   # sender
+        st.integers(min_value=1, max_value=5),   # dst = (src + off) % 6
+        st.integers(min_value=1, max_value=120_000),  # size
+        st.integers(min_value=0, max_value=200),      # gap in us
+    ),
+    min_size=1, max_size=12,
+)
+
+
+def run_schedule(schedule, homa_cfg=None):
+    sim, net, transports = homa_cluster(
+        racks=2, hosts_per_rack=3, aggrs=2, homa_cfg=homa_cfg)
+    records = collect_completions(transports)
+    submitted = []
+
+    clock = 0
+    for src, offset, size, gap_us in schedule:
+        clock += gap_us * 1_000_000
+        dst = (src + offset) % 6
+        sim.schedule_at(clock, transports[src].send_message, dst, size)
+        submitted.append((src, dst, size))
+    sim.run(until_ps=clock + 400 * MS)
+    return sim, net, transports, records, submitted
+
+
+@given(schedules)
+@settings(max_examples=25, deadline=None)
+def test_prop_conservation_and_physicality(schedule):
+    sim, net, transports, records, submitted = run_schedule(schedule)
+    assert len(records) == len(submitted)
+    delivered = sorted((msg.src, hid, msg.length) for hid, msg, _ in records)
+    assert delivered == sorted(submitted)
+    for hid, msg, now in records:
+        oracle = net.min_oneway_ps(msg.length,
+                                   net.same_rack(msg.src, hid))
+        assert now - msg.created_ps >= oracle
+
+
+@given(schedules)
+@settings(max_examples=15, deadline=None)
+def test_prop_flow_control_bound(schedule):
+    sim, net, transports = homa_cluster(racks=2, hosts_per_rack=3, aggrs=2)
+    bound = transports[0].rtt_bytes + 1460
+    violations = []
+
+    for transport in transports:
+        original = transport._schedule_grants
+
+        def checked(t=transport, original=original):
+            original()
+            for m in t.inbound.values():
+                excess = m.granted - m.bytes_received
+                if excess > bound:
+                    violations.append(excess)
+
+        transport._schedule_grants = checked
+
+    clock = 0
+    for src, offset, size, gap_us in schedule:
+        clock += gap_us * 1_000_000
+        sim.schedule_at(clock, transports[src].send_message,
+                        (src + offset) % 6, size)
+    sim.run(until_ps=clock + 300 * MS)
+    assert not violations
+
+
+@given(schedules, st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_prop_overcommitment_degree_respected(schedule, degree):
+    cfg = HomaConfig(n_sched_override=degree)
+    sim, net, transports = homa_cluster(racks=2, hosts_per_rack=3, aggrs=2,
+                                        homa_cfg=cfg)
+    over_limit = []
+
+    for transport in transports:
+        original = transport._schedule_grants
+        unsched = transport.unsched_limit
+
+        def checked(t=transport, original=original, unsched=unsched):
+            original()
+            # Messages beyond their unscheduled prefix that hold grants
+            # they have not finished consuming = active messages.
+            active = sum(
+                1 for m in t.inbound.values()
+                if m.granted > min(unsched, m.length)
+                and m.bytes_received < m.granted)
+            if active > degree:
+                over_limit.append(active)
+        transport._schedule_grants = checked
+
+    clock = 0
+    for src, offset, size, gap_us in schedule:
+        clock += gap_us * 1_000_000
+        sim.schedule_at(clock, transports[src].send_message,
+                        (src + offset) % 6, size)
+    sim.run(until_ps=clock + 300 * MS)
+    assert not over_limit
+
+
+@given(st.lists(st.integers(min_value=1, max_value=60_000),
+                min_size=2, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_prop_rpc_conservation(sizes):
+    """Every RPC completes exactly once with the echoed length."""
+    from repro.apps.echo import echo_handler
+
+    sim, net, transports = homa_cluster(racks=1, hosts_per_rack=4, aggrs=0)
+    for transport in transports[1:]:
+        transport.rpc_handler = echo_handler
+    done = []
+    for index, size in enumerate(sizes):
+        transports[0].send_rpc(1 + index % 3, size,
+                               on_response=lambda rid, msg:
+                               done.append(msg.length))
+    sim.run(until_ps=400 * MS)
+    assert sorted(done) == sorted(sizes)
+    assert not transports[0].client_rpcs

@@ -1,0 +1,97 @@
+"""Tests for offered-load computation."""
+
+import pytest
+
+from repro.core.packet import FULL_WIRE, MAX_PAYLOAD, MIN_WIRE
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.distributions import EmpiricalCDF
+from repro.workloads.loadcalc import (
+    PROTOCOLS,
+    arrival_rate_per_host,
+    estimate_traffic,
+    mean_interarrival_ps,
+    per_message_wire_bytes,
+)
+
+
+def fixed_size_cdf(size):
+    # A distribution concentrated at one size (tiny spread for validity).
+    return EmpiricalCDF([(0.0, size), (1.0, size + 1e-9 + 0)] if False else
+                        [(0.0, size), (1.0, size)])
+
+
+def test_estimate_traffic_single_full_packet():
+    cdf = EmpiricalCDF([(0.0, MAX_PAYLOAD), (1.0, MAX_PAYLOAD)])
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=1000)
+    assert traffic.mean_bytes == pytest.approx(MAX_PAYLOAD)
+    assert traffic.mean_packets == pytest.approx(1.0)
+    assert traffic.mean_data_wire == pytest.approx(FULL_WIRE)
+    assert traffic.mean_sched_packets == pytest.approx(0.0)
+
+
+def test_estimate_traffic_large_message():
+    size = 10 * MAX_PAYLOAD
+    cdf = EmpiricalCDF([(0.0, size), (1.0, size)])
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=1000)
+    assert traffic.mean_packets == pytest.approx(10.0)
+    # 14600 - 9680 = 4920 scheduled bytes -> 4 scheduled packets.
+    assert traffic.mean_sched_packets == pytest.approx(4.0)
+
+
+def test_homa_wire_includes_grants():
+    size = 10 * MAX_PAYLOAD
+    cdf = EmpiricalCDF([(0.0, size), (1.0, size)])
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=1000)
+    homa = per_message_wire_bytes("homa", traffic)
+    assert homa == pytest.approx(traffic.mean_data_wire + 4 * MIN_WIRE)
+
+
+def test_pfabric_wire_includes_per_packet_acks():
+    size = 10 * MAX_PAYLOAD
+    cdf = EmpiricalCDF([(0.0, size), (1.0, size)])
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=1000)
+    pfab = per_message_wire_bytes("pfabric", traffic)
+    assert pfab == pytest.approx(traffic.mean_data_wire + 10 * MIN_WIRE)
+
+
+def test_all_protocols_have_overhead_models():
+    cdf = WORKLOADS["W3"].cdf
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=20_000)
+    for protocol in PROTOCOLS:
+        wire = per_message_wire_bytes(protocol, traffic)
+        assert wire >= traffic.mean_data_wire
+
+
+def test_unknown_protocol_rejected():
+    cdf = WORKLOADS["W1"].cdf
+    traffic = estimate_traffic(cdf, unsched_limit=9680, samples=1000)
+    with pytest.raises(ValueError):
+        per_message_wire_bytes("tcp-reno", traffic)
+
+
+def test_arrival_rate_scales_with_load():
+    cdf = WORKLOADS["W1"].cdf
+    r40 = arrival_rate_per_host("homa", cdf, 0.4, samples=20_000)
+    r80 = arrival_rate_per_host("homa", cdf, 0.8, samples=20_000)
+    assert r80 == pytest.approx(2 * r40, rel=1e-6)
+
+
+def test_arrival_rate_rejects_bad_load():
+    cdf = WORKLOADS["W1"].cdf
+    with pytest.raises(ValueError):
+        arrival_rate_per_host("homa", cdf, 0.0)
+    with pytest.raises(ValueError):
+        arrival_rate_per_host("homa", cdf, 1.2)
+
+
+def test_arrival_rate_sane_magnitude_w4():
+    """W4 mean wire bytes ~230 KB -> ~4e3 msgs/s/host at 80% of 10 Gbps."""
+    cdf = WORKLOADS["W4"].cdf
+    rate = arrival_rate_per_host("homa", cdf, 0.8, samples=50_000)
+    assert 2e3 < rate < 2e4
+
+
+def test_mean_interarrival_ps():
+    assert mean_interarrival_ps(1e6) == pytest.approx(1e6)  # 1M msg/s -> 1 us
+    with pytest.raises(ValueError):
+        mean_interarrival_ps(0)

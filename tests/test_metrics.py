@@ -1,0 +1,176 @@
+"""Unit tests for the metrics package."""
+
+import math
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.packet import Packet, PacketType
+from repro.core.topology import NetworkConfig, build_network
+from repro.metrics.bandwidth import _IdleWithheldAccount
+from repro.metrics.probes import CompositeProbe, attach_probe
+from repro.metrics.queues import QueueLengthProbe
+from repro.metrics.slowdown import SlowdownTracker, bucket_index
+from repro.core.port import PortProbe, QueuedPort
+
+
+def make_net():
+    return build_network(Simulator(), NetworkConfig())
+
+
+# ---------------------------------------------------------------------------
+# SlowdownTracker
+# ---------------------------------------------------------------------------
+
+
+def test_tracker_records_relative_to_oracle():
+    net = make_net()
+    tracker = SlowdownTracker(net)
+    oracle = net.min_oneway_ps(100, False)
+    tracker.record_oneway(0, 143, 100, 0, 2 * oracle)
+    assert tracker.slowdowns == [2.0]
+
+
+def test_tracker_warmup_filter():
+    net = make_net()
+    tracker = SlowdownTracker(net, warmup_ps=1000)
+    tracker.record_oneway(0, 143, 100, 500, 10_000_000)   # during warmup
+    tracker.record_oneway(0, 143, 100, 1500, 10_000_000)  # after
+    assert tracker.count == 1
+
+
+def test_tracker_rpc_uses_round_trip_oracle():
+    net = make_net()
+    tracker = SlowdownTracker(net)
+    oracle = net.min_rpc_ps(200, 200, False)
+    tracker.record_rpc(0, 143, 200, 200, 0, oracle)
+    assert tracker.slowdowns == [pytest.approx(1.0)]
+
+
+def test_tracker_bucket_report():
+    net = make_net()
+    tracker = SlowdownTracker(net)
+    for size, slowdown in ((50, 1.0), (50, 3.0), (500, 2.0)):
+        tracker._push(size, slowdown)
+    report = tracker.bucket_report([0, 100, 1000])
+    assert report[0].count == 2
+    assert report[0].p50 == pytest.approx(2.0)
+    assert report[1].count == 1
+    assert report[1].mean == pytest.approx(2.0)
+
+
+def test_tracker_empty_bucket_is_nan():
+    net = make_net()
+    tracker = SlowdownTracker(net)
+    tracker._push(50, 1.0)
+    report = tracker.bucket_report([0, 10, 100])
+    assert math.isnan(report[0].p50)
+    assert report[1].count == 1
+
+
+def test_tracker_bad_edges_rejected():
+    net = make_net()
+    tracker = SlowdownTracker(net)
+    with pytest.raises(ValueError):
+        tracker.bucket_report([10, 5])
+    with pytest.raises(ValueError):
+        tracker.bucket_report([0])
+
+
+def test_tracker_overall_empty_raises():
+    net = make_net()
+    with pytest.raises(ValueError):
+        SlowdownTracker(net).overall(99)
+
+
+def test_bucket_index():
+    edges = [0, 10, 100, 1000]
+    assert bucket_index(edges, 5) == 0
+    assert bucket_index(edges, 10) == 0
+    assert bucket_index(edges, 11) == 1
+    assert bucket_index(edges, 1000) == 2
+
+
+# ---------------------------------------------------------------------------
+# QueueLengthProbe
+# ---------------------------------------------------------------------------
+
+
+def test_queue_probe_time_weighted_mean():
+    probe = QueueLengthProbe(start_ps=0)
+    probe.on_queue_change(0, 100)     # 100 B from t=0
+    probe.on_queue_change(50, 300)    # 300 B from t=50
+    probe.on_queue_change(100, 0)     # empty from t=100
+    # Integral: 100*50 + 300*50 = 20000 over 200 ps -> mean 100.
+    assert probe.mean_bytes(200, 0) == pytest.approx(100.0)
+    assert probe.max_qbytes == 300
+
+
+def test_queue_probe_handles_open_interval():
+    probe = QueueLengthProbe(start_ps=0)
+    probe.on_queue_change(0, 500)
+    # Still 500 B at the end: the tail interval counts.
+    assert probe.mean_bytes(100, 0) == pytest.approx(500.0)
+
+
+def test_queue_probe_zero_duration():
+    probe = QueueLengthProbe(start_ps=0)
+    assert probe.mean_bytes(0, 0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# wasted-bandwidth accounting
+# ---------------------------------------------------------------------------
+
+
+def test_idle_withheld_intersection():
+    account = _IdleWithheldAccount(start_ps=0)
+    account.set_withheld(0, True)       # withheld, idle -> accumulating
+    account.on_busy_change(100, True)   # busy at t=100: 100 ps wasted
+    account.on_busy_change(200, False)  # idle again
+    account.set_withheld(250, False)    # stops at t=250: +50 ps
+    account._accumulate(300)
+    assert account.wasted_ps == 150
+
+
+def test_idle_busy_without_withheld_not_wasted():
+    account = _IdleWithheldAccount(start_ps=0)
+    account.on_busy_change(100, True)
+    account.on_busy_change(200, False)
+    account._accumulate(400)
+    assert account.wasted_ps == 0
+
+
+# ---------------------------------------------------------------------------
+# probe composition
+# ---------------------------------------------------------------------------
+
+
+class CountingProbe(PortProbe):
+    def __init__(self):
+        self.events = 0
+
+    def on_tx_done(self, now, pkt):
+        self.events += 1
+
+
+def test_composite_probe_fans_out():
+    first, second = CountingProbe(), CountingProbe()
+    composite = CompositeProbe([first, second])
+    composite.on_tx_done(0, None)
+    assert first.events == 1 and second.events == 1
+
+
+def test_attach_probe_composes():
+    sim = Simulator()
+    port = QueuedPort(sim, "p", 10, lambda pkt: None, "tor_down")
+    a, b, c = CountingProbe(), CountingProbe(), CountingProbe()
+    attach_probe(port, a)
+    assert port.probe is a
+    attach_probe(port, b)
+    assert isinstance(port.probe, CompositeProbe)
+    attach_probe(port, c)
+    assert len(port.probe.probes) == 3
+    port.enqueue(Packet(0, 1, PacketType.DATA, prio=0, payload=10, rpc_id=1))
+    sim.run()
+    assert a.events == b.events == c.events == 1

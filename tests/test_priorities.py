@@ -1,0 +1,191 @@
+"""Tests for Homa's priority allocation (section 3.4, Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.homa.priorities import (
+    OnlineEstimator,
+    PriorityAllocation,
+    allocate_priorities,
+    compute_cutoffs,
+    split_levels,
+)
+from repro.workloads.catalog import WORKLOADS
+
+UNSCHED_LIMIT = 10220  # RTTbytes rounded up to whole packets
+
+
+def test_paper_level_splits():
+    """Section 5.2: 7 unsched levels for W1, 4 for W3, 1 for W4/W5;
+    Figure 4: 6 for W2."""
+    expected = {"W1": 7, "W2": 6, "W3": 4, "W4": 1, "W5": 1}
+    for key, n_unsched in expected.items():
+        alloc = allocate_priorities(WORKLOADS[key].cdf, UNSCHED_LIMIT)
+        assert alloc.n_unsched == n_unsched, key
+        assert alloc.n_sched == 8 - n_unsched, key
+
+
+def test_levels_partition_priorities():
+    alloc = allocate_priorities(WORKLOADS["W3"].cdf, UNSCHED_LIMIT)
+    assert alloc.sched_levels == (0, 1, 2, 3)
+    assert alloc.unsched_levels == (4, 5, 6, 7)
+
+
+def test_w2_first_cutoff_near_paper_280():
+    """Figure 4: P7 covers messages of 1-280 bytes for W2."""
+    alloc = allocate_priorities(WORKLOADS["W2"].cdf, UNSCHED_LIMIT)
+    assert 180 <= alloc.cutoffs[0] <= 400
+
+
+def test_cutoffs_ascending():
+    for key in WORKLOADS:
+        alloc = allocate_priorities(WORKLOADS[key].cdf, UNSCHED_LIMIT)
+        assert list(alloc.cutoffs) == sorted(alloc.cutoffs)
+
+
+def test_cutoffs_balance_unscheduled_bytes():
+    """Each unscheduled level must carry ~the same unscheduled bytes."""
+    cdf = WORKLOADS["W3"].cdf
+    alloc = allocate_priorities(cdf, UNSCHED_LIMIT)
+    masses = []
+    prev = 0.0
+    for cutoff in alloc.cutoffs:
+        mass = cdf.unsched_mass_below(cutoff, UNSCHED_LIMIT)
+        masses.append(mass - prev)
+        prev = mass
+    mean_mass = sum(masses) / len(masses)
+    for mass in masses:
+        assert mass == pytest.approx(mean_mass, rel=0.1)
+
+
+def test_unsched_prio_smaller_messages_higher():
+    alloc = allocate_priorities(WORKLOADS["W3"].cdf, UNSCHED_LIMIT)
+    prios = [alloc.unsched_prio(s) for s in (10, 500, 5000, 1_000_000)]
+    assert prios == sorted(prios, reverse=True)
+    assert prios[0] == 7
+    assert prios[-1] == alloc.unsched_levels[0]
+
+
+def test_unsched_prio_monotone_nonincreasing():
+    alloc = allocate_priorities(WORKLOADS["W2"].cdf, UNSCHED_LIMIT)
+    last = 8
+    for size in range(1, 20000, 37):
+        prio = alloc.unsched_prio(size)
+        assert prio <= last or prio == last
+        last = min(last, prio)
+
+
+def test_sched_prio_lowest_first():
+    """Fewer active messages than levels -> lowest levels used, keeping
+    high levels free for preemption (avoids Figure 5's lag)."""
+    alloc = allocate_priorities(WORKLOADS["W4"].cdf, UNSCHED_LIMIT)
+    assert alloc.n_sched == 7
+    assert alloc.sched_prio(0) == 0
+    assert alloc.sched_prio(1) == 1
+    assert alloc.sched_prio(6) == 6
+    assert alloc.sched_prio(99) == 6  # extras share the top sched level
+
+
+def test_split_levels_single_priority_shares():
+    assert split_levels(0.5, 1) == (1, 1)
+
+
+def test_split_levels_clamps():
+    assert split_levels(0.0, 8) == (7, 1)
+    assert split_levels(1.0, 8) == (1, 7)
+
+
+def test_split_levels_overrides():
+    assert split_levels(0.5, 8, n_unsched_override=2) == (6, 2)
+    assert split_levels(0.5, 8, n_sched_override=3) == (3, 5)
+    assert split_levels(0.5, 8, n_unsched_override=1, n_sched_override=1) == (1, 1)
+
+
+def test_split_levels_override_conflict():
+    with pytest.raises(ValueError):
+        split_levels(0.5, 8, n_unsched_override=5, n_sched_override=5)
+
+
+def test_homap1_allocation():
+    alloc = allocate_priorities(WORKLOADS["W3"].cdf, UNSCHED_LIMIT, n_prios=1)
+    assert alloc.sched_levels == (0,)
+    assert alloc.unsched_levels == (0,)
+    assert alloc.unsched_prio(100) == 0
+    assert alloc.sched_prio(0) == 0
+
+
+def test_homap2_allocation():
+    alloc = allocate_priorities(WORKLOADS["W3"].cdf, UNSCHED_LIMIT, n_prios=2)
+    assert alloc.n_sched + alloc.n_unsched == 2
+    assert alloc.sched_levels[0] == 0
+    assert alloc.unsched_levels[-1] == 1
+
+
+def test_cutoff_override():
+    alloc = allocate_priorities(
+        WORKLOADS["W3"].cdf, UNSCHED_LIMIT,
+        n_unsched_override=2, cutoff_override=(1000, 5_114_695))
+    assert alloc.cutoffs == (1000, 5_114_695)
+    assert alloc.unsched_prio(999) == 7
+    assert alloc.unsched_prio(2000) == 6
+
+
+def test_cutoff_override_wrong_count():
+    with pytest.raises(ValueError):
+        allocate_priorities(WORKLOADS["W3"].cdf, UNSCHED_LIMIT,
+                            n_unsched_override=2, cutoff_override=(1000,))
+
+
+def test_compute_cutoffs_single_level():
+    cdf = WORKLOADS["W4"].cdf
+    cutoffs = compute_cutoffs(cdf, 1, UNSCHED_LIMIT)
+    assert cutoffs == (cdf.max_bytes(),)
+
+
+@given(st.integers(min_value=2, max_value=7))
+@settings(max_examples=10, deadline=None)
+def test_prop_cutoff_count_matches_levels(n_unsched):
+    cdf = WORKLOADS["W2"].cdf
+    cutoffs = compute_cutoffs(cdf, n_unsched, UNSCHED_LIMIT)
+    assert len(cutoffs) == n_unsched
+    assert list(cutoffs) == sorted(cutoffs)
+
+
+# ---------------------------------------------------------------------------
+# online estimator
+# ---------------------------------------------------------------------------
+
+
+def test_online_estimator_needs_samples():
+    est = OnlineEstimator()
+    assert est.to_cdf() is None
+    est.record(100)
+    assert est.to_cdf() is None
+
+
+def test_online_estimator_reconstructs_distribution():
+    import numpy as np
+    est = OnlineEstimator()
+    rng = np.random.default_rng(3)
+    true_cdf = WORKLOADS["W2"].cdf
+    for size in true_cdf.sample(rng, 20_000):
+        est.record(int(size))
+    learned = est.to_cdf()
+    assert learned is not None
+    # The learned median must be within a bin-width factor of the truth.
+    true_median = true_cdf.quantile(0.5)
+    learned_median = learned.quantile(0.5)
+    assert 0.5 * true_median <= learned_median <= 2.0 * true_median
+
+
+def test_online_estimator_allocation_close_to_static():
+    import numpy as np
+    est = OnlineEstimator()
+    rng = np.random.default_rng(4)
+    for size in WORKLOADS["W2"].cdf.sample(rng, 50_000):
+        est.record(int(size))
+    learned = est.to_cdf()
+    alloc = allocate_priorities(learned, UNSCHED_LIMIT)
+    static = allocate_priorities(WORKLOADS["W2"].cdf, UNSCHED_LIMIT)
+    assert abs(alloc.n_unsched - static.n_unsched) <= 1

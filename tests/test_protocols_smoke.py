@@ -1,0 +1,106 @@
+"""End-to-end smoke tests: every protocol delivers traffic correctly.
+
+These run the full experiment pipeline at modest load on a small
+network and check conservation (everything submitted completes),
+sanity (slowdown >= ~1), and protocol-specific invariants.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.transport.registry import PROTOCOLS
+
+# No warmup: max_messages concentrates generation at the start, and a
+# warmup window would filter every record out of the tracker.
+QUICK = dict(racks=2, hosts_per_rack=4, aggrs=2,
+             duration_ms=4.0, warmup_ms=0.0, drain_ms=8.0,
+             max_messages=400)
+
+
+def quick_cfg(protocol, workload="W2", load=0.4, **kw):
+    args = dict(QUICK)
+    args.update(kw)
+    return ExperimentConfig(protocol=protocol, workload=workload,
+                            load=load, **args)
+
+
+@pytest.mark.parametrize("protocol", [p for p in PROTOCOLS if p != "ndp"])
+def test_protocol_delivers_all_messages(protocol):
+    result = run_experiment(quick_cfg(protocol))
+    assert result.submitted > 100
+    assert result.finish_rate > 0.98, (
+        f"{protocol}: {result.completed}/{result.submitted} completed")
+
+
+def test_ndp_delivers_on_w5():
+    # NDP only supports full-size packets -> W5 only (as in the paper).
+    # W5 messages average ~2.7 MB, so the window must be generous.
+    result = run_experiment(quick_cfg("ndp", workload="W5", load=0.3,
+                                      duration_ms=60.0, drain_ms=60.0,
+                                      max_messages=40))
+    assert result.submitted > 5
+    assert result.finish_rate > 0.9
+
+
+@pytest.mark.parametrize("protocol", ["homa", "phost", "pfabric", "pias"])
+def test_slowdowns_at_least_one(protocol):
+    result = run_experiment(quick_cfg(protocol))
+    assert result.tracker.count > 50
+    assert result.tracker.overall(0) >= 0.999  # min slowdown is 1.0
+
+
+def test_homa_low_load_slowdowns_small():
+    result = run_experiment(quick_cfg("homa", load=0.2))
+    assert result.tracker.overall(50) < 1.6
+
+
+def test_homa_high_load_still_stable():
+    result = run_experiment(quick_cfg("homa", load=0.8, drain_ms=15.0))
+    assert result.finish_rate > 0.97
+
+
+def test_rpc_echo_mode():
+    result = run_experiment(quick_cfg("homa", mode="rpc_echo"))
+    assert result.completed > 100
+    assert result.tracker.overall(50) >= 1.0
+    assert result.aborted == 0
+
+
+def test_stream_rpc_echo_mode():
+    result = run_experiment(quick_cfg("stream_mc", mode="rpc_echo",
+                                      load=0.3))
+    assert result.completed > 50
+
+
+def test_collectors_produce_output():
+    result = run_experiment(quick_cfg(
+        "homa", collect=("queues", "priousage", "throughput", "wasted")))
+    assert len(result.queue_rows) == 3  # three switch levels
+    assert len(result.prio_fractions) == 8
+    assert 0.0 < result.total_utilization < 1.0
+    assert 0.0 < result.app_utilization <= result.total_utilization
+    assert 0.0 <= result.wasted_fraction < 1.0
+
+
+def test_delay_collector():
+    result = run_experiment(quick_cfg("homa", load=0.6, collect=("delays",)))
+    q_us, p_us = result.delay_breakdown
+    assert q_us >= 0.0 and p_us >= 0.0
+
+
+def test_deterministic_given_seed():
+    first = run_experiment(quick_cfg("homa", seed=7))
+    second = run_experiment(quick_cfg("homa", seed=7))
+    assert first.tracker.slowdowns == second.tracker.slowdowns
+
+
+def test_different_seeds_differ():
+    first = run_experiment(quick_cfg("homa", seed=1))
+    second = run_experiment(quick_cfg("homa", seed=2))
+    assert first.tracker.slowdowns != second.tracker.slowdowns
+
+
+def test_single_rack_mode():
+    result = run_experiment(quick_cfg("homa", racks=1, hosts_per_rack=8,
+                                      aggrs=0))
+    assert result.finish_rate > 0.98

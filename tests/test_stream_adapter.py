@@ -1,0 +1,87 @@
+"""Tests for the byte-stream-over-Homa adapter (section 3.1)."""
+
+from repro.core.units import MS
+from repro.homa.stream_adapter import StreamOverHoma, StreamReceiver
+
+from tests.helpers import homa_cluster
+
+
+def make_pair():
+    sim, net, transports = homa_cluster()
+    sender_side = StreamOverHoma(transports[0])
+    receiver_side = StreamOverHoma(transports[1])
+    return sim, sender_side, receiver_side
+
+
+def test_in_order_delivery():
+    sim, tx, rx = make_pair()
+    chunks = []
+    stream = tx.open(peer=1)
+    rx.listen(stream.stream_id, lambda seq, size: chunks.append((seq, size)))
+    for size in (100, 5000, 30, 20000):
+        stream.write(size)
+    sim.run(until_ps=20 * MS)
+    assert chunks == [(0, 100), (1, 5000), (2, 30), (3, 20000)]
+
+
+def test_order_preserved_despite_srpt():
+    """Homa delivers the small chunk's message first (SRPT), but the
+    stream layer must hold it until earlier chunks arrive."""
+    sim, tx, rx = make_pair()
+    chunks = []
+    stream = tx.open(peer=1)
+    rx.listen(stream.stream_id, lambda seq, size: chunks.append(seq))
+    stream.write(400_000)  # slow chunk
+    stream.write(50)       # fast chunk: completes first at the transport
+    sim.run(until_ps=50 * MS)
+    assert chunks == [0, 1]
+
+
+def test_multiple_streams_independent():
+    sim, tx, rx = make_pair()
+    a_chunks, b_chunks = [], []
+    stream_a = tx.open(peer=1)
+    stream_b = tx.open(peer=1)
+    rx.listen(stream_a.stream_id, lambda seq, size: a_chunks.append(size))
+    rx.listen(stream_b.stream_id, lambda seq, size: b_chunks.append(size))
+    stream_a.write(100)
+    stream_b.write(200)
+    stream_a.write(300)
+    sim.run(until_ps=20 * MS)
+    assert a_chunks == [100, 300]
+    assert b_chunks == [200]
+
+
+def test_duplicate_chunks_dropped():
+    receiver = StreamReceiver(lambda seq, size: None)
+    receiver.deliver(0, 100)
+    receiver.deliver(0, 100)   # duplicate of a delivered chunk
+    receiver.deliver(2, 300)
+    receiver.deliver(2, 300)   # duplicate of a pending chunk
+    assert receiver.duplicates_dropped == 2
+    receiver.deliver(1, 200)
+    assert receiver.bytes_delivered == 600
+    assert receiver.expected_seq == 3
+
+
+def test_out_of_order_buffering():
+    delivered = []
+    receiver = StreamReceiver(lambda seq, size: delivered.append(seq))
+    receiver.deliver(2, 10)
+    receiver.deliver(1, 10)
+    assert delivered == []
+    receiver.deliver(0, 10)
+    assert delivered == [0, 1, 2]
+
+
+def test_chained_completion_hook_still_fires():
+    sim, net, transports = homa_cluster()
+    seen = []
+    transports[1].on_message_complete = lambda msg, now: seen.append(msg.length)
+    tx = StreamOverHoma(transports[0])
+    rx = StreamOverHoma(transports[1])
+    stream = tx.open(peer=1)
+    rx.listen(stream.stream_id, lambda seq, size: None)
+    stream.write(123)
+    sim.run(until_ps=5 * MS)
+    assert seen == [123]

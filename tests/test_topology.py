@@ -1,0 +1,174 @@
+"""Tests for topology construction and the paper's timing constants."""
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.core.packet import MAX_PAYLOAD, Packet, PacketType
+from repro.core.topology import Network, NetworkConfig, build_network
+from repro.core.units import US
+
+
+def make_net(**overrides) -> Network:
+    return build_network(Simulator(), NetworkConfig(**overrides))
+
+
+def test_default_topology_matches_figure_11():
+    net = make_net()
+    assert len(net.hosts) == 144
+    assert len(net.tors) == 9
+    assert len(net.aggrs) == 4
+    assert len(net.tor_down_ports) == 144
+    assert len(net.tor_up_ports) == 9 * 4
+    assert len(net.aggr_down_ports) == 4 * 9
+
+
+def test_rtt_matches_paper_7_8_us():
+    net = make_net()
+    rtt = net.rtt_ps()
+    # Paper section 5.2: "about 7.8 us".
+    assert abs(rtt - 7_744_000) < 1_000
+    assert 7.5 * US < rtt < 8.0 * US
+
+
+def test_rtt_bytes_matches_paper_9_7_kb():
+    net = make_net()
+    # Paper: "RTTbytes is about 9.7 Kbytes".
+    assert net.rtt_bytes() == 9680
+
+
+def test_min_oneway_small_message_close_to_paper():
+    net = make_net()
+    t = net.min_oneway_ps(1)
+    # Paper: "The minimum one-way time for a small message is 2.3 us";
+    # our framing gives 2.418 us (documented in DESIGN.md).
+    assert 2_300_000 <= t <= 2_500_000
+
+
+def test_min_oneway_same_rack_faster():
+    net = make_net()
+    assert net.min_oneway_ps(1000, same_rack=True) < net.min_oneway_ps(1000)
+
+
+def test_min_oneway_monotone_in_size():
+    net = make_net()
+    times = [net.min_oneway_ps(s) for s in (1, 100, 1460, 5000, 100_000)]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+
+
+def test_min_oneway_large_message_dominated_by_serialization():
+    net = make_net()
+    size = 100 * MAX_PAYLOAD
+    t = net.min_oneway_ps(size)
+    serialization = 100 * 1538 * 800
+    assert t > serialization
+    assert t < serialization + 6 * US
+
+
+def test_min_rpc_is_sum_of_legs():
+    net = make_net()
+    assert net.min_rpc_ps(100, 100) == 2 * net.min_oneway_ps(100)
+
+
+def test_min_oneway_cache_consistent():
+    net = make_net()
+    first = net.min_oneway_ps(12345)
+    second = net.min_oneway_ps(12345)
+    assert first == second
+
+
+def test_single_rack_topology_has_no_aggrs():
+    net = make_net(racks=1, hosts_per_rack=16, aggrs=0)
+    assert len(net.hosts) == 16
+    assert not net.aggrs
+    assert not net.tor_up_ports
+
+
+def test_single_rack_rtt_shorter_than_fat_tree():
+    single = make_net(racks=1, hosts_per_rack=16, aggrs=0)
+    fat = make_net()
+    assert single.rtt_ps() < fat.rtt_ps()
+
+
+def test_rack_helpers():
+    net = make_net()
+    assert net.rack_of(0) == 0
+    assert net.rack_of(15) == 0
+    assert net.rack_of(16) == 1
+    assert net.same_rack(3, 12)
+    assert not net.same_rack(3, 20)
+
+
+def test_multi_rack_requires_aggrs():
+    with pytest.raises(ValueError):
+        make_net(racks=2, aggrs=0)
+
+
+def test_bad_queue_mode_rejected():
+    with pytest.raises(ValueError):
+        make_net(queue_mode="fifo")
+
+
+class _Sink:
+    """Transport stand-in that records deliveries and sends nothing."""
+
+    def __init__(self):
+        self.received = []
+
+    def bind(self, host):
+        self.host = host
+
+    def on_packet(self, pkt):
+        self.received.append((self.host.sim.now, pkt))
+
+    def next_packet(self):
+        return None
+
+
+def test_cross_rack_delivery_time_matches_oracle():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig())
+    sinks = net.attach_transports(lambda host: _Sink())
+    src, dst = 0, 143  # different racks
+    pkt = Packet(src, dst, PacketType.DATA, payload=1000, prio=5,
+                 rpc_id=1, total_length=1000)
+    net.hosts[src].egress._transmit(pkt)
+    sim.run()
+    assert len(sinks[dst].received) == 1
+    arrival, received = sinks[dst].received[0]
+    assert received is pkt
+    assert arrival == net.min_oneway_ps(1000)
+
+
+def test_same_rack_delivery_time_matches_oracle():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig())
+    sinks = net.attach_transports(lambda host: _Sink())
+    src, dst = 0, 1
+    pkt = Packet(src, dst, PacketType.DATA, payload=200, prio=5, rpc_id=1)
+    net.hosts[src].egress._transmit(pkt)
+    sim.run()
+    arrival, _ = sinks[dst].received[0]
+    assert arrival == net.min_oneway_ps(200, same_rack=True)
+
+
+def test_spraying_distributes_across_aggrs():
+    sim = Simulator()
+    net = build_network(sim, NetworkConfig())
+    net.attach_transports(lambda host: _Sink())
+    counts = [0] * 4
+    tor = net.tors[0]
+    for _ in range(400):
+        pkt = Packet(0, 143, PacketType.DATA, payload=100, prio=4, rpc_id=1)
+        port = tor.route(pkt)
+        index = net.tor_up_ports.index(port)
+        counts[index % 4] += 1
+    # Uniform spraying: each of 4 uplinks should get a fair share.
+    assert min(counts) > 50
+    assert sum(counts) == 400
+
+
+def test_scaled_config_overrides():
+    cfg = NetworkConfig().scaled(racks=3, hosts_per_rack=4)
+    assert cfg.racks == 3 and cfg.n_hosts == 12
+    assert NetworkConfig().racks == 9  # original untouched

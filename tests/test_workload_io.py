@@ -1,0 +1,79 @@
+"""Tests for workload trace file I/O."""
+
+import pytest
+
+from repro.workloads.catalog import WORKLOADS
+from repro.workloads.io import load_cdf, save_cdf
+
+
+def test_round_trip(tmp_path):
+    original = WORKLOADS["W2"].cdf
+    path = tmp_path / "w2.txt"
+    save_cdf(original, path, comment="Google search RPCs")
+    loaded = load_cdf(path)
+    assert loaded.min_bytes() == original.min_bytes()
+    assert loaded.max_bytes() == original.max_bytes()
+    assert loaded.mean() == pytest.approx(original.mean(), rel=1e-6)
+    assert loaded.deciles() == original.deciles()
+
+
+def test_load_with_comments_and_blanks(tmp_path):
+    path = tmp_path / "custom.txt"
+    path.write_text("""
+# production RPC sizes
+1 0.0
+
+128 0.35
+512 0.80
+1048576 1.0
+""")
+    cdf = load_cdf(path, name="prod")
+    assert cdf.name == "prod"
+    assert cdf.min_bytes() == 1
+    assert cdf.max_bytes() == 1_048_576
+    assert cdf.quantile(0.35) == 128
+
+
+def test_load_normalizes_missing_zero(tmp_path):
+    path = tmp_path / "nozero.txt"
+    path.write_text("100 0.5\n1000 1.0\n")
+    cdf = load_cdf(path)
+    assert cdf.min_bytes() == 99  # pinned just below the first anchor
+
+
+def test_load_rejects_bad_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("100 0.5 extra\n")
+    with pytest.raises(ValueError, match="expected"):
+        load_cdf(path)
+
+
+def test_load_rejects_non_numeric(tmp_path):
+    path = tmp_path / "nan.txt"
+    path.write_text("abc 0.5\n")
+    with pytest.raises(ValueError):
+        load_cdf(path)
+
+
+def test_load_rejects_empty(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# only comments\n")
+    with pytest.raises(ValueError, match="no data"):
+        load_cdf(path)
+
+
+def test_load_rejects_incomplete_cdf(tmp_path):
+    path = tmp_path / "partial.txt"
+    path.write_text("1 0.0\n100 0.7\n")
+    with pytest.raises(ValueError, match="end at probability"):
+        load_cdf(path)
+
+
+def test_loaded_cdf_usable_for_allocation(tmp_path):
+    from repro.homa.priorities import allocate_priorities
+
+    path = tmp_path / "w1.txt"
+    save_cdf(WORKLOADS["W1"].cdf, path)
+    cdf = load_cdf(path)
+    alloc = allocate_priorities(cdf, 10220)
+    assert alloc.n_unsched == 7  # same as the built-in W1
