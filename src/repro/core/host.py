@@ -9,6 +9,8 @@ response (grants, data) then leaves immediately.
 
 from __future__ import annotations
 
+from heapq import heappush
+
 from repro.core.engine import Simulator
 from repro.core.packet import Packet
 from repro.core.port import PullPort
@@ -17,7 +19,8 @@ from repro.core.port import PullPort
 class Host:
     """One server: id, rack, an uplink NIC port, and a transport."""
 
-    __slots__ = ("sim", "hid", "rack", "egress", "transport", "software_delay_ps")
+    __slots__ = ("sim", "hid", "rack", "egress", "transport",
+                 "software_delay_ps", "_deliver_cb")
 
     def __init__(self, sim: Simulator, hid: int, rack: int, software_delay_ps: int) -> None:
         self.sim = sim
@@ -26,6 +29,10 @@ class Host:
         self.egress: PullPort | None = None
         self.transport = None
         self.software_delay_ps = software_delay_ps
+        # Bound once (resolves self.transport at fire time, so packets
+        # delivered before attach() still fail loudly rather than being
+        # dropped as cancelled events).
+        self._deliver_cb = self._deliver
 
     def attach(self, transport) -> None:
         """Bind a transport to this host (and the NIC to the transport)."""
@@ -35,7 +42,15 @@ class Host:
 
     def ingress(self, pkt: Packet) -> None:
         """A packet finished arriving on the downlink."""
-        self.sim.schedule(self.software_delay_ps, self._deliver, pkt)
+        # schedule1 inlined: one event per delivered packet.
+        sim = self.sim
+        time_ps = sim.now + self.software_delay_ps
+        sim._seq += 1
+        event = [time_ps, sim._seq, self._deliver_cb, pkt]
+        if time_ps < sim._horizon:
+            heappush(sim._heap, event)
+        else:
+            sim._file_far(event, time_ps)
 
     def _deliver(self, pkt: Packet) -> None:
         self.transport.on_packet(pkt)

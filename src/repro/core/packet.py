@@ -85,7 +85,7 @@ class Packet:
         "rpc_id", "is_request", "offset", "payload", "wire",
         "total_length", "sched", "retx", "incast", "ecn", "trimmed",
         "grant_offset", "grant_prio", "range_end", "cutoffs", "app_meta",
-        "created_ps", "enq_ps", "q_wait", "p_wait",
+        "created_ps", "enq_ps", "q_wait", "p_wait", "msg_key",
     )
 
     def __init__(
@@ -93,7 +93,10 @@ class Packet:
         src: int,
         dst: int,
         kind: PacketType,
-        *,
+        # Parameter order matters: the DATA-packet fields form a prefix
+        # so the per-data-packet constructor call can pass positionally
+        # (kwargs parsing is measurable at this call rate); everything
+        # else is still passed by keyword.
         prio: int = CTRL_PRIO,
         payload: int = 0,
         rpc_id: int = 0,
@@ -103,13 +106,13 @@ class Packet:
         sched: bool = False,
         retx: bool = False,
         incast: bool = False,
+        app_meta: int | None = None,
         grant_offset: int = 0,
+        created_ps: int = 0,
         grant_prio: int = 0,
         range_end: int = 0,
         fine_prio: int = 0,
         cutoffs: tuple | None = None,
-        app_meta: int | None = None,
-        created_ps: int = 0,
     ) -> None:
         self.src = src
         self.dst = dst
@@ -120,7 +123,9 @@ class Packet:
         self.is_request = is_request
         self.offset = offset
         self.payload = payload
-        self.wire = wire_size(payload)
+        # Inline wire_size(payload): constructed once per packet.
+        wire = payload + HEADER_BYTES + ETH_OVERHEAD
+        self.wire = MIN_WIRE if wire < MIN_WIRE else wire
         self.total_length = total_length
         self.sched = sched
         self.retx = retx
@@ -136,16 +141,12 @@ class Packet:
         self.enq_ps = 0
         self.q_wait = 0
         self.p_wait = 0
-
-    @property
-    def msg_key(self) -> int:
-        """Identity of the message this packet belongs to.
-
-        Homa messages are halves of an RPC, so (rpc id, direction) is
-        the message identity — this is what lets a client RESEND a
-        response whose packets it has never seen (paper section 3.7).
-        """
-        return (self.rpc_id << 1) | (1 if self.is_request else 0)
+        # Identity of the message this packet belongs to.  Homa messages
+        # are halves of an RPC, so (rpc id, direction) is the message
+        # identity — this is what lets a client RESEND a response whose
+        # packets it has never seen (paper section 3.7).  Precomputed:
+        # it keys a transport dict lookup on every received packet.
+        self.msg_key = (rpc_id << 1) | (1 if is_request else 0)
 
     def trim(self) -> None:
         """NDP-style trim: discard the payload, keep the header."""

@@ -20,7 +20,9 @@ optional per-packet delay attribution used by Figure 14.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
+from heapq import heappush
 from typing import Callable, Optional
 
 from repro.core.engine import Simulator
@@ -50,7 +52,8 @@ class BasePort:
     __slots__ = (
         "sim", "name", "level", "ppb", "deliver", "busy",
         "cur_pkt", "cur_end_ps", "probe", "trace_delays",
-        "tx_packets", "tx_wire_bytes", "drops",
+        "tx_packets", "tx_wire_bytes", "drops", "_tx_done_cb",
+        "fuse_ok", "last_arrival_ps",
     )
 
     def __init__(
@@ -74,15 +77,39 @@ class BasePort:
         self.tx_packets = 0
         self.tx_wire_bytes = 0
         self.drops = 0
+        # Bound once: creating the bound method on every transmission is
+        # measurable at millions of events per run.
+        self._tx_done_cb = self._tx_done
+        # Arrival fusion (see topology's fused switch ingress): True only
+        # where enqueueing early is invisible — no drops/marking/trimming
+        # /preemption (queue state must not influence anything between
+        # the early enqueue and the real arrival time).  Probe and
+        # trace_delays are checked dynamically at the ingress site.
+        # ``last_arrival_ps`` is the latest scheduled (non-fused)
+        # arrival: fusing a packet is only sound strictly after that
+        # arrival has fired, or the fused packet could overtake it in
+        # its priority level's FIFO.
+        self.fuse_ok = False
+        self.last_arrival_ps = -1
+
+    def enqueue(self, pkt: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def _transmit(self, pkt: Packet) -> None:
-        duration = pkt.wire * self.ppb
+        sim = self.sim
+        time_ps = sim.now + pkt.wire * self.ppb
         self.busy = True
         self.cur_pkt = pkt
-        self.cur_end_ps = self.sim.now + duration
+        self.cur_end_ps = time_ps
         if self.probe is not None:
-            self.probe.on_busy_change(self.sim.now, True)
-        self.sim.schedule(duration, self._tx_done)
+            self.probe.on_busy_change(sim.now, True)
+        # schedule0 inlined: one event per transmitted packet.
+        sim._seq += 1
+        event = [time_ps, sim._seq, self._tx_done_cb, None]
+        if time_ps < sim._horizon:
+            heappush(sim._heap, event)
+        else:
+            sim._file_far(event, time_ps)
 
     def _tx_done(self) -> None:
         pkt = self.cur_pkt
@@ -103,11 +130,17 @@ class BasePort:
 
 
 class QueuedPort(BasePort):
-    """Switch egress port with 8 strict priority FIFO queues."""
+    """Switch egress port with 8 strict priority FIFO queues.
+
+    ``_nonempty`` is a bitmask with bit ``p`` set iff ``queues[p]`` holds
+    at least one packet, so picking the highest busy priority is a single
+    ``int.bit_length`` instead of a scan over all 8 queues per dequeue.
+    """
 
     __slots__ = (
         "queues", "qbytes", "prio_qbytes", "buffer_bytes",
         "ecn_bytes", "trim_bytes", "preemptive", "_paused", "_tx_event",
+        "_nonempty", "_vanilla",
     )
 
     def __init__(
@@ -133,8 +166,46 @@ class QueuedPort(BasePort):
         self.preemptive = preemptive
         self._paused: list[tuple[Packet, int]] = []  # (packet, remaining ps)
         self._tx_event = None
+        self._nonempty = 0  # bit p set iff queues[p] is non-empty
+        # Fast-path flag: no marking/trimming/drops/preemption to check.
+        self._vanilla = (buffer_bytes is None and ecn_bytes is None
+                         and trim_bytes is None and not preemptive)
+        self.fuse_ok = self._vanilla
 
     def enqueue(self, pkt: Packet) -> None:
+        if self._vanilla:
+            if (not self.busy and not self._nonempty and self.probe is None
+                    and not self._paused):
+                # Idle, empty port: transmit directly, skip the queue
+                # round-trip (event creation inlined — this is the
+                # steady-state per-hop path).
+                sim = self.sim
+                time_ps = sim.now + pkt.wire * self.ppb
+                self.busy = True
+                self.cur_pkt = pkt
+                self.cur_end_ps = time_ps
+                sim._seq += 1
+                event = [time_ps, sim._seq, self._tx_done_cb, None]
+                if time_ps < sim._horizon:
+                    heappush(sim._heap, event)
+                else:
+                    sim._file_far(event, time_ps)
+                return
+            prio = pkt.prio
+            if self.trace_delays and self.busy:
+                residual = self.cur_end_ps - self.sim.now
+                if self.cur_pkt is not None and self.cur_pkt.prio < prio:
+                    pkt.p_wait += residual
+                else:
+                    pkt.q_wait += residual
+            self.queues[prio].append(pkt)
+            self._nonempty |= 1 << prio
+            self.qbytes += pkt.wire
+            if self.probe is not None:
+                self.probe.on_queue_change(self.sim.now, self.qbytes)
+            if not self.busy:
+                self._next()
+            return
         if self.ecn_bytes is not None and self.qbytes >= self.ecn_bytes:
             pkt.ecn = True
         if (
@@ -151,24 +222,29 @@ class QueuedPort(BasePort):
             if self.probe is not None:
                 self.probe.on_drop(self.sim.now, pkt)
             return
-        if self.trace_delays and self.busy:
+        preempts = (
+            self.preemptive
+            and self.busy
+            and self.cur_pkt is not None
+            and pkt.prio > self.cur_pkt.prio
+        )
+        if self.trace_delays and self.busy and not preempts:
+            # A packet that is about to preempt the in-flight packet
+            # never waits out its residual, so it is charged nothing.
             residual = self.cur_end_ps - self.sim.now
             if self.cur_pkt is not None and self.cur_pkt.prio < pkt.prio:
                 pkt.p_wait += residual
             else:
                 pkt.q_wait += residual
         self.queues[pkt.prio].append(pkt)
+        self._nonempty |= 1 << pkt.prio
         self.qbytes += pkt.wire
         self.prio_qbytes[pkt.prio] += pkt.wire
         if self.probe is not None:
             self.probe.on_queue_change(self.sim.now, self.qbytes)
         if not self.busy:
             self._next()
-        elif (
-            self.preemptive
-            and self.cur_pkt is not None
-            and pkt.prio > self.cur_pkt.prio
-        ):
+        elif preempts:
             self._preempt()
 
     def _preempt(self) -> None:
@@ -193,16 +269,15 @@ class QueuedPort(BasePort):
             Simulator.cancel(event)
 
     def _transmit(self, pkt: Packet) -> None:
-        if not self.preemptive:
-            super()._transmit(pkt)
-            return
         duration = pkt.wire * self.ppb
         self.busy = True
         self.cur_pkt = pkt
         self.cur_end_ps = self.sim.now + duration
         if self.probe is not None:
             self.probe.on_busy_change(self.sim.now, True)
-        self._tx_event = self.sim.schedule(duration, self._tx_done)
+        event = self.sim.schedule0(duration, self._tx_done_cb)
+        if self.preemptive:
+            self._tx_event = event
 
     def _resume(self, pkt: Packet, remaining: int) -> None:
         self.busy = True
@@ -210,31 +285,97 @@ class QueuedPort(BasePort):
         self.cur_end_ps = self.sim.now + remaining
         if self.probe is not None:
             self.probe.on_busy_change(self.sim.now, True)
+        event = self.sim.schedule0(remaining, self._tx_done_cb)
         if self.preemptive:
-            self._tx_event = self.sim.schedule(remaining, self._tx_done)
-        else:  # pragma: no cover - resume only exists with preemption on
-            self.sim.schedule(remaining, self._tx_done)
+            self._tx_event = event
+
+    def _tx_done(self) -> None:
+        # BasePort._tx_done with the follow-up dequeue inlined: this
+        # pair runs once per switch-port transmission.  KEEP IN SYNC
+        # with _next below — the dequeue + inline-transmit bodies are
+        # intentionally duplicated to save a call per packet.
+        pkt = self.cur_pkt
+        self.cur_pkt = None
+        self.busy = False
+        self.tx_packets += 1
+        self.tx_wire_bytes += pkt.wire
+        if self.probe is not None:
+            self.probe.on_tx_done(self.sim.now, pkt)
+            self.probe.on_busy_change(self.sim.now, False)
+        self.deliver(pkt)
+        mask = self._nonempty
+        if self._paused:
+            self._next()
+            return
+        if not mask:
+            return
+        prio = mask.bit_length() - 1
+        queue = self.queues[prio]
+        pkt = queue.popleft()
+        if not queue:
+            self._nonempty = mask & ~(1 << prio)
+        self.qbytes -= pkt.wire
+        if not self._vanilla:
+            self.prio_qbytes[prio] -= pkt.wire
+        if self.probe is None and not self.trace_delays:
+            sim = self.sim
+            time_ps = sim.now + pkt.wire * self.ppb
+            self.busy = True
+            self.cur_pkt = pkt
+            self.cur_end_ps = time_ps
+            sim._seq += 1
+            event = [time_ps, sim._seq, self._tx_done_cb, None]
+            if time_ps < sim._horizon:
+                heappush(sim._heap, event)
+            else:
+                sim._file_far(event, time_ps)
+            if self.preemptive:
+                self._tx_event = event
+            return
+        if self.probe is not None:
+            self.probe.on_queue_change(self.sim.now, self.qbytes)
+        if self.trace_delays:
+            self._charge_waiters(pkt)
+        self._transmit(pkt)
 
     def _next(self) -> None:
-        queues = self.queues
-        for prio in range(N_PRIORITIES - 1, -1, -1):
-            if self._paused and self._paused[-1][0].prio >= prio:
-                pkt, remaining = self._paused.pop()
-                self._resume(pkt, remaining)
-                return
-            if queues[prio]:
-                pkt = queues[prio].popleft()
-                self.qbytes -= pkt.wire
-                self.prio_qbytes[prio] -= pkt.wire
-                if self.probe is not None:
-                    self.probe.on_queue_change(self.sim.now, self.qbytes)
-                if self.trace_delays:
-                    self._charge_waiters(pkt)
-                self._transmit(pkt)
-                return
-        if self._paused:
+        # Highest non-empty priority in O(1) via the occupancy bitmask.
+        prio = self._nonempty.bit_length() - 1
+        if self._paused and self._paused[-1][0].prio >= prio:
             pkt, remaining = self._paused.pop()
             self._resume(pkt, remaining)
+            return
+        if prio < 0:
+            return
+        queue = self.queues[prio]
+        pkt = queue.popleft()
+        if not queue:
+            self._nonempty &= ~(1 << prio)
+        self.qbytes -= pkt.wire
+        if not self._vanilla:
+            self.prio_qbytes[prio] -= pkt.wire
+        if self.probe is None and not self.trace_delays:
+            # _transmit inlined for the plain case (the dequeue path
+            # runs once per transmitted packet).
+            sim = self.sim
+            time_ps = sim.now + pkt.wire * self.ppb
+            self.busy = True
+            self.cur_pkt = pkt
+            self.cur_end_ps = time_ps
+            sim._seq += 1
+            event = [time_ps, sim._seq, self._tx_done_cb, None]
+            if time_ps < sim._horizon:
+                heappush(sim._heap, event)
+            else:
+                sim._file_far(event, time_ps)
+            if self.preemptive:
+                self._tx_event = event
+            return
+        if self.probe is not None:
+            self.probe.on_queue_change(self.sim.now, self.qbytes)
+        if self.trace_delays:
+            self._charge_waiters(pkt)
+        self._transmit(pkt)
 
     def _charge_waiters(self, winner: Packet) -> None:
         """Attribute the winner's tx time to every packet left waiting.
@@ -245,10 +386,11 @@ class QueuedPort(BasePort):
         """
         duration = winner.wire * self.ppb
         wprio = winner.prio
-        for prio in range(N_PRIORITIES):
+        mask = self._nonempty
+        while mask:
+            prio = mask.bit_length() - 1
+            mask &= ~(1 << prio)
             queue = self.queues[prio]
-            if not queue:
-                continue
             if wprio < prio:
                 for waiting in queue:
                     waiting.p_wait += duration
@@ -263,9 +405,16 @@ class PfabricPort(BasePort):
     ``fine_prio`` is the packet's remaining message bytes at send time
     (0 for ACKs/probes, which makes them most urgent).  The buffer is a
     couple of bandwidth-delay products, as in the pFabric paper.
+
+    Dequeue-min and drop-max are both served by heaps sharing one entry
+    list ``[fine_prio, arrival_seq, pkt]`` per packet; an entry whose
+    packet slot is None is dead and skipped lazily.  ``arrival_seq``
+    breaks fine-priority ties FIFO on the min side and oldest-first on
+    the max side, matching the linear-scan semantics this replaces.
     """
 
-    __slots__ = ("queue", "qbytes", "buffer_bytes")
+    __slots__ = ("_min_heap", "_max_heap", "_arrivals", "qbytes",
+                 "buffer_bytes")
 
     def __init__(
         self,
@@ -278,52 +427,59 @@ class PfabricPort(BasePort):
         buffer_bytes: int,
     ) -> None:
         super().__init__(sim, name, gbps, deliver, level)
-        self.queue: list[Packet] = []
+        self._min_heap: list[list] = []   # [fine_prio, seq, pkt-or-None]
+        self._max_heap: list[list] = []   # [-fine_prio, seq, entry]
+        self._arrivals = 0
         self.qbytes = 0
         self.buffer_bytes = buffer_bytes
 
     def enqueue(self, pkt: Packet) -> None:
         while self.qbytes + pkt.wire > self.buffer_bytes:
-            victim = self._largest()
-            if victim is None or victim.fine_prio <= pkt.fine_prio:
-                victim = pkt  # the arrival is the least urgent: drop it
-            if victim is pkt:
+            victim_entry = self._largest_entry()
+            if victim_entry is None or -victim_entry[0] <= pkt.fine_prio:
+                # The arrival is the least urgent: drop it.
                 self.drops += 1
                 if self.probe is not None:
                     self.probe.on_drop(self.sim.now, pkt)
                 return
-            self.queue.remove(victim)
+            inner = victim_entry[2]
+            victim = inner[2]
+            inner[2] = None  # kill: the min heap skips it lazily
+            heapq.heappop(self._max_heap)
             self.qbytes -= victim.wire
             self.drops += 1
             if self.probe is not None:
                 self.probe.on_drop(self.sim.now, victim)
-        self.queue.append(pkt)
+        self._arrivals += 1
+        entry = [pkt.fine_prio, self._arrivals, pkt]
+        heapq.heappush(self._min_heap, entry)
+        heapq.heappush(self._max_heap, [-pkt.fine_prio, self._arrivals, entry])
         self.qbytes += pkt.wire
         if self.probe is not None:
             self.probe.on_queue_change(self.sim.now, self.qbytes)
         if not self.busy:
             self._next()
 
-    def _largest(self) -> Packet | None:
-        if not self.queue:
-            return None
-        return max(self.queue, key=lambda p: p.fine_prio)
+    def _largest_entry(self) -> list | None:
+        """Live max-heap head (largest fine_prio, oldest among ties)."""
+        heap = self._max_heap
+        while heap and heap[0][2][2] is None:
+            heapq.heappop(heap)
+        return heap[0] if heap else None
 
     def _next(self) -> None:
-        if not self.queue:
+        heap = self._min_heap
+        while heap:
+            entry = heapq.heappop(heap)
+            pkt = entry[2]
+            if pkt is None:
+                continue
+            entry[2] = None  # kill the max-heap twin
+            self.qbytes -= pkt.wire
+            if self.probe is not None:
+                self.probe.on_queue_change(self.sim.now, self.qbytes)
+            self._transmit(pkt)
             return
-        best_index = 0
-        best_prio = self.queue[0].fine_prio
-        for index in range(1, len(self.queue)):
-            prio = self.queue[index].fine_prio
-            if prio < best_prio:
-                best_prio = prio
-                best_index = index
-        pkt = self.queue.pop(best_index)
-        self.qbytes -= pkt.wire
-        if self.probe is not None:
-            self.probe.on_queue_change(self.sim.now, self.qbytes)
-        self._transmit(pkt)
 
 
 class PullPort(BasePort):
@@ -346,6 +502,42 @@ class PullPort(BasePort):
         """Tell the NIC new work may be available."""
         if not self.busy:
             self._next()
+
+    def _tx_done(self) -> None:
+        # BasePort._tx_done fused with the follow-up pull: this pair
+        # runs once per host-uplink transmission.
+        pkt = self.cur_pkt
+        self.cur_pkt = None
+        self.busy = False
+        self.tx_packets += 1
+        self.tx_wire_bytes += pkt.wire
+        probe = self.probe
+        if probe is not None:
+            now = self.sim.now
+            probe.on_tx_done(now, pkt)
+            probe.on_busy_change(now, False)
+        # Delivery only schedules the next-hop arrival; it cannot start
+        # a new transmission on this port, so pulling afterwards is the
+        # same order BasePort produced.
+        self.deliver(pkt)
+        source = self.source
+        if source is not None:
+            pkt = source()
+            if pkt is not None:
+                # _transmit inlined (one NIC transmission per pull).
+                sim = self.sim
+                time_ps = sim.now + pkt.wire * self.ppb
+                self.busy = True
+                self.cur_pkt = pkt
+                self.cur_end_ps = time_ps
+                if self.probe is not None:
+                    self.probe.on_busy_change(sim.now, True)
+                sim._seq += 1
+                event = [time_ps, sim._seq, self._tx_done_cb, None]
+                if time_ps < sim._horizon:
+                    heappush(sim._heap, event)
+                else:
+                    sim._file_far(event, time_ps)
 
     def _next(self) -> None:
         if self.source is None:

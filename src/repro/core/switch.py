@@ -36,12 +36,18 @@ class Switch:
         self.injected_drops = 0
 
     def ingress(self, pkt: Packet) -> None:
-        """Called when a packet has fully arrived on an input link."""
+        """Called when a packet has fully arrived on an input link.
+
+        The egress port is chosen here rather than after the processing
+        delay: the delay is a constant, so the relative order of routing
+        decisions (and hence the spray RNG stream) is unchanged, and the
+        packet needs one scheduled event instead of a forward trampoline.
+        """
         if self.drop_filter is not None and self.drop_filter(pkt):
             self.injected_drops += 1
             return
         if self.delay_ps:
-            self.sim.schedule(self.delay_ps, self._forward, pkt)
+            self.sim.schedule1(self.delay_ps, self.route(pkt).enqueue, pkt)
         else:
             self._forward(pkt)
 

@@ -14,6 +14,7 @@ denominator of every slowdown number in the paper.
 from __future__ import annotations
 
 import random
+from heapq import heappush
 from dataclasses import dataclass, field, replace
 from typing import Iterable
 
@@ -118,11 +119,20 @@ class Network:
             for a in range(cfg.aggrs):
                 self.aggrs.append(Switch(sim, f"aggr{a}", cfg.switch_delay_ps))
 
+        # Fused per-switch ingress closures: routing + ingress-delay
+        # scheduling in one frame, with arrival fusion (see below).  The
+        # closures capture the port lists, which are filled in next and
+        # indexed per packet, so creation order is safe.
+        tor_ingress = [self._make_tor_ingress(rack)
+                       for rack in range(cfg.racks)]
+        aggr_ingress = [self._make_aggr_ingress(a)
+                        for a in range(len(self.aggrs))]
+
         # Host uplinks (pull model) and TOR downlinks.
         for host in self.hosts:
             tor = self.tors[host.rack]
             up = PullPort(sim, f"h{host.hid}->tor{host.rack}", cfg.host_gbps,
-                          tor.ingress, "host_up")
+                          tor_ingress[host.rack], "host_up")
             host.egress = up
             self.host_up_ports.append(up)
             down = self._make_switch_port(
@@ -137,14 +147,14 @@ class Network:
                 for a, aggr in enumerate(self.aggrs):
                     up = self._make_switch_port(
                         f"tor{rack}->aggr{a}", cfg.aggr_gbps,
-                        aggr.ingress, "tor_up")
+                        aggr_ingress[a], "tor_up")
                     self.tor_up_ports.append(up)
                     tor.ports.append(up)
             for a, aggr in enumerate(self.aggrs):
                 for rack, tor in enumerate(self.tors):
                     down = self._make_switch_port(
                         f"aggr{a}->tor{rack}", cfg.aggr_gbps,
-                        tor.ingress, "aggr_down")
+                        tor_ingress[rack], "aggr_down")
                     self.aggr_down_ports.append(down)
                     aggr.ports.append(down)
 
@@ -156,6 +166,13 @@ class Network:
         aggr_down = self.aggr_down_ports
         spray = self._spray
 
+        # Inline of random.Random.randrange(n_aggrs) — the same
+        # getrandbits rejection loop CPython's _randbelow_with_getrandbits
+        # runs, minus two Python frames per sprayed packet.  Bit-exact:
+        # the RNG stream (and so every sprayed path) is unchanged.
+        getrandbits = spray.getrandbits
+        spray_bits = n_aggrs.bit_length() if n_aggrs else 0
+
         def make_tor_route(rack: int):
             base = rack * hosts_per_rack
             up_base = rack * n_aggrs
@@ -165,7 +182,10 @@ class Network:
                 if dst // hosts_per_rack == rack:
                     return tor_down[dst]
                 # Per-packet spraying: any aggregation switch works.
-                return tor_up[up_base + spray.randrange(n_aggrs)]
+                r = getrandbits(spray_bits)
+                while r >= n_aggrs:
+                    r = getrandbits(spray_bits)
+                return tor_up[up_base + r]
 
             def route_single(pkt: Packet):
                 return tor_down[pkt.dst]
@@ -185,6 +205,111 @@ class Network:
 
         for a, aggr in enumerate(self.aggrs):
             aggr.route = make_aggr_route(a)
+
+    # ------------------------------------------------------------------
+    # fused switch ingress (the per-hop hot path)
+    # ------------------------------------------------------------------
+    #
+    # A packet hopping through a switch costs two events in the naive
+    # model: the upstream port's tx-done and the post-switch-delay
+    # enqueue.  The fused ingress closures below collapse routing and
+    # delay scheduling into one frame, and apply *arrival fusion*: when
+    # the egress port is busy transmitting strictly past the packet's
+    # arrival time, nothing can observe the queue before the packet
+    # really arrives, so it is appended immediately and the arrival
+    # event is skipped entirely.  The ``pending_arrivals`` counter keeps
+    # FIFO order exact: once one packet takes the scheduled-event path,
+    # later packets must too, or they could overtake it in the queue.
+    # Fusion is disabled wherever queue state is observable in between:
+    # finite buffers, ECN, trimming, preemption (``fuse_ok``), attached
+    # probes, or delay tracing.
+
+    def _make_tor_ingress(self, rack: int):
+        cfg = self.cfg
+        sim = self.sim
+        tor = self.tors[rack]
+        delay = tor.delay_ps
+        hosts_per_rack = cfg.hosts_per_rack
+        n_aggrs = cfg.aggrs
+        tor_down = self.tor_down_ports
+        tor_up = self.tor_up_ports
+        up_base = rack * n_aggrs
+        single = cfg.racks == 1
+        # Bit-exact inline of random.Random.randrange(n_aggrs) — same
+        # getrandbits rejection loop, no Python frames.
+        getrandbits = self._spray.getrandbits
+        spray_bits = n_aggrs.bit_length() if n_aggrs else 0
+
+        lo = rack * hosts_per_rack
+        hi = lo + hosts_per_rack
+
+        def ingress(pkt: Packet) -> None:
+            if tor.drop_filter is not None and tor.drop_filter(pkt):
+                tor.injected_drops += 1
+                return
+            dst = pkt.dst
+            if single or lo <= dst < hi:
+                port = tor_down[dst]
+            else:
+                r = getrandbits(spray_bits)
+                while r >= n_aggrs:
+                    r = getrandbits(spray_bits)
+                port = tor_up[up_base + r]
+            if delay == 0:
+                port.enqueue(pkt)
+                return
+            now = sim.now
+            arrival = now + delay
+            if (port.busy and port.fuse_ok
+                    and port.cur_end_ps > arrival
+                    and now > port.last_arrival_ps and port.probe is None
+                    and not port.trace_delays):
+                port.enqueue(pkt)
+                return
+            port.last_arrival_ps = arrival
+            sim._seq += 1
+            event = [arrival, sim._seq, port.enqueue, pkt]
+            if arrival < sim._horizon:
+                heappush(sim._heap, event)
+            else:
+                sim._file_far(event, arrival)
+
+        return ingress
+
+    def _make_aggr_ingress(self, a: int):
+        cfg = self.cfg
+        sim = self.sim
+        aggr = self.aggrs[a]
+        delay = aggr.delay_ps
+        hosts_per_rack = cfg.hosts_per_rack
+        aggr_down = self.aggr_down_ports
+        base = a * cfg.racks
+
+        def ingress(pkt: Packet) -> None:
+            if aggr.drop_filter is not None and aggr.drop_filter(pkt):
+                aggr.injected_drops += 1
+                return
+            port = aggr_down[base + pkt.dst // hosts_per_rack]
+            if delay == 0:
+                port.enqueue(pkt)
+                return
+            now = sim.now
+            arrival = now + delay
+            if (port.busy and port.fuse_ok
+                    and port.cur_end_ps > arrival
+                    and now > port.last_arrival_ps and port.probe is None
+                    and not port.trace_delays):
+                port.enqueue(pkt)
+                return
+            port.last_arrival_ps = arrival
+            sim._seq += 1
+            event = [arrival, sim._seq, port.enqueue, pkt]
+            if arrival < sim._horizon:
+                heappush(sim._heap, event)
+            else:
+                sim._file_far(event, arrival)
+
+        return ingress
 
     # ------------------------------------------------------------------
     # convenience accessors
@@ -268,29 +393,41 @@ class Network:
         ppb_h = ps_per_byte(cfg.host_gbps)
         sw = cfg.switch_delay_ps
 
+        # The packet list is `full` identical FULL_WIRE frames plus an
+        # optional smaller trailer, so both bounds below close-form over
+        # the uniform prefix instead of building and scanning a list
+        # whose length is the message's packet count (this runs once
+        # per distinct message size, and W4/W5 sizes rarely repeat).
         full, rest = divmod(length, MAX_PAYLOAD)
-        wires = [FULL_WIRE] * full
-        if rest:
-            wires.append(wire_size(rest))
+        rest_wire = wire_size(rest) if rest else 0
 
         if key[1]:  # single switch on the path: exact FIFO pipeline
-            host_done = 0
-            downlink_free = 0
-            for wire in wires:
-                host_done += wire * ppb_h
-                enqueue = host_done + sw
-                start = enqueue if enqueue > downlink_free else downlink_free
-                downlink_free = start + wire * ppb_h
+            # With equal frames the downlink is saturated back to back:
+            # it frees at (k+1) * wire-time + switch delay; the smaller
+            # trailer then appends its own serialization.
+            if full:
+                downlink_free = (full + 1) * FULL_WIRE * ppb_h + sw
+                if rest:
+                    downlink_free += rest_wire * ppb_h
+            else:
+                downlink_free = 2 * rest_wire * ppb_h + sw
             result = downlink_free + cfg.software_delay_ps
         else:
             ppb_a = ps_per_byte(cfg.aggr_gbps)
-            wires.sort(reverse=True)
-            cum = 0
+            # max over the k-largest-prefix bound: strictly increasing
+            # in k across the uniform prefix, so only k = full and the
+            # full-plus-trailer candidates can win.
             best = 0
-            for wire in wires:  # descending: k largest prefix
-                cum += wire * ppb_h
-                transit = 3 * sw + 2 * wire * ppb_a
-                candidate = cum + transit + wire * ppb_h
+            if full:
+                cum = full * FULL_WIRE * ppb_h
+                best = cum + 3 * sw + 2 * FULL_WIRE * ppb_a \
+                    + FULL_WIRE * ppb_h
+            else:
+                cum = 0
+            if rest:
+                cum += rest_wire * ppb_h
+                candidate = cum + 3 * sw + 2 * rest_wire * ppb_a \
+                    + rest_wire * ppb_h
                 if candidate > best:
                     best = candidate
             result = best + cfg.software_delay_ps

@@ -20,10 +20,12 @@ One ``HomaTransport`` instance runs on each host and plays both roles:
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush, heapreplace
 from typing import Callable, Optional
 
 from repro.core.engine import Simulator
-from repro.core.packet import CTRL_PRIO, MAX_PAYLOAD, Packet, PacketType
+from repro.core.packet import (CTRL_PRIO, MAX_PAYLOAD, MIN_WIRE, Packet,
+                               PacketType)
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import (
     OnlineEstimator,
@@ -91,6 +93,30 @@ class HomaTransport(Transport):
         self.inbound: dict[int, InboundMessage] = {}
         self.client_rpcs: dict[int, ClientRpc] = {}
         self.server_rpcs: dict[int, ServerRpc] = {}
+        # Incremental SRPT indexes (all lazy-deletion heaps; see
+        # docs/PERFORMANCE.md for the staleness invariants).
+        #
+        # Sender: every sendable outbound message has a live entry
+        # [remaining, created_ps, sort_seq, msg]; an entry is stale when
+        # the message left ``outbound``, stopped being sendable, or its
+        # remaining-bytes key changed (a fresh entry is pushed whenever
+        # any of those change back).
+        self._send_heap: list[list] = []
+        # Receiver: ``_grantable`` holds exactly the inbound messages
+        # with granted < length; ``_grant_heap`` entries are
+        # [bytes_remaining, first_arrival_ps, sort_seq, msg] refreshed on
+        # every data arrival; ``_arrival_heap`` serves the grant_oldest
+        # ablation ([first_arrival_ps, sort_seq, msg], one per message).
+        self._grantable: dict[int, InboundMessage] = {}
+        self._grant_heap: list[list] = []
+        self._arrival_heap: list[list] = []
+        # Tie-break counter reproducing the dict-insertion order the
+        # pre-index linear scans used to resolve equal SRPT keys.
+        self._sort_seq = 0
+        # Set when the grantable membership or the allocation changed;
+        # forces the next _schedule_grants through the full ranking pass
+        # (the single-message fast path is only sound in steady state).
+        self._grant_dirty = True
         #: server application: fn(transport, server_rpc) -> None.
         #: When unset, inbound requests are treated as one-way messages.
         self.rpc_handler: Optional[Callable[["HomaTransport", ServerRpc], None]] = None
@@ -162,7 +188,7 @@ class HomaTransport(Transport):
             else self.unsched_limit,
             created_ps=self.sim.now, app_meta=app_meta)
         msg.incast = incast
-        self.outbound[msg.key] = msg
+        self._index_outbound(msg)
         self.kick()
         return msg
 
@@ -170,22 +196,51 @@ class HomaTransport(Transport):
     # sender: SRPT packet selection (3.2)
     # ------------------------------------------------------------------
 
-    def _next_data(self) -> Optional[Packet]:
-        best: Optional[OutboundMessage] = None
-        best_key = None
-        for msg in self.outbound.values():
-            if not msg.sendable():
+    def next_packet(self) -> Optional[Packet]:
+        # Transport.next_packet with the ctrl check and the SRPT pull
+        # inlined: this is the NIC's per-pull entry point.
+        ctrl = self.ctrl
+        if ctrl:
+            return ctrl.popleft()
+        heap = self._send_heap
+        outbound = self.outbound
+        while heap:
+            entry = heap[0]
+            msg = entry[3]
+            if (outbound.get(msg.key) is not msg
+                    or entry[0] != msg.length - msg.sent
+                    or not (msg.sent < msg.granted or msg.rtx)):
+                heappop(heap)  # stale: a fresher entry supersedes it
                 continue
-            key = (msg.remaining, msg.created_ps)
-            if best_key is None or key < best_key:
-                best, best_key = msg, key
-        if best is None:
-            return None
-        offset, size, is_rtx = best.next_chunk()
-        pkt = self._make_data_packet(best, offset, size, is_rtx)
-        if best.fully_sent():
-            self._outbound_finished(best)
-        return pkt
+            offset, size, is_rtx = msg.next_chunk()
+            if msg.fully_sent():
+                heappop(heap)
+                self._outbound_finished(msg)
+            elif msg.sent < msg.granted or msg.rtx:
+                heapreplace(heap, [msg.length - msg.sent, msg.created_ps,
+                                   msg.sort_seq, msg])
+            else:
+                heappop(heap)
+            return self._make_data_packet(msg, offset, size, is_rtx)
+        return None
+
+    def _index_outbound(self, msg: OutboundMessage) -> None:
+        """(Re)register a message with the sender's SRPT index."""
+        if self.outbound.get(msg.key) is not msg:
+            self._sort_seq += 1
+            msg.sort_seq = self._sort_seq
+            self.outbound[msg.key] = msg
+        self._push_sendable(msg)
+
+    def _push_sendable(self, msg: OutboundMessage) -> None:
+        if msg.sendable():
+            heappush(self._send_heap,
+                     [msg.remaining, msg.created_ps, msg.sort_seq, msg])
+
+    def _next_data(self) -> Optional[Packet]:
+        # The SRPT pull lives inlined in next_packet (the NIC entry
+        # point); with nothing queued in ctrl they are the same pull.
+        return self.next_packet() if not self.ctrl else None
 
     def _make_data_packet(self, msg: OutboundMessage, offset: int, size: int,
                           is_rtx: bool) -> Packet:
@@ -195,14 +250,13 @@ class HomaTransport(Transport):
         else:
             alloc = self.peer_alloc.get(msg.dst, self.alloc)
             prio = alloc.unsched_prio(msg.length)
+        unsched = msg.unsched_limit
         return Packet(
             self.hid, msg.dst, PacketType.DATA,
-            prio=prio, payload=size, rpc_id=msg.rpc_id,
-            is_request=msg.is_request, offset=offset,
-            total_length=msg.length, sched=sched, retx=is_rtx,
-            incast=msg.incast, app_meta=msg.app_meta,
-            grant_offset=min(msg.length, msg.unsched_limit),
-            created_ps=msg.created_ps,
+            prio, size, msg.rpc_id, msg.is_request, offset,
+            msg.length, sched, is_rtx, msg.incast, msg.app_meta,
+            msg.length if msg.length < unsched else unsched,
+            msg.created_ps,
         )
 
     def _outbound_finished(self, msg: OutboundMessage) -> None:
@@ -224,13 +278,13 @@ class HomaTransport(Transport):
 
     def on_packet(self, pkt: Packet) -> None:
         kind = pkt.kind
-        if kind == PacketType.DATA:
+        if kind is PacketType.DATA:  # enum members are singletons
             self._on_data(pkt)
-        elif kind == PacketType.GRANT:
+        elif kind is PacketType.GRANT:
             self._on_grant(pkt)
-        elif kind == PacketType.RESEND:
+        elif kind is PacketType.RESEND:
             self._on_resend(pkt)
-        elif kind == PacketType.BUSY:
+        elif kind is PacketType.BUSY:
             self._on_busy(pkt)
         else:  # pragma: no cover - no other kinds reach a Homa host
             raise ValueError(f"unexpected packet kind {kind}")
@@ -246,7 +300,14 @@ class HomaTransport(Transport):
             msg.app_meta = pkt.app_meta
             msg.incast = pkt.incast
             msg.created_ps = pkt.created_ps
+            self._sort_seq += 1
+            msg.sort_seq = self._sort_seq
             self.inbound[key] = msg
+            self._grantable[key] = msg
+            self._grant_dirty = True
+            if self.cfg.grant_oldest:
+                heappush(self._arrival_heap,
+                         [msg.first_arrival_ps, msg.sort_seq, msg])
             if self.estimator is not None:
                 self.estimator.record(pkt.total_length)
             if not pkt.is_request:
@@ -255,13 +316,33 @@ class HomaTransport(Transport):
                     rpc.response_started = True
         if pkt.grant_offset > msg.granted:
             msg.granted = min(pkt.grant_offset, msg.length)
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
+            if msg.granted >= msg.length and self._grantable.pop(key, None):
+                self._grant_dirty = True
+        # InboundMessage.record, inlined (per data packet).
+        msg.last_activity_ps = self.sim.now
+        end = pkt.offset + pkt.payload
+        if msg.received.add(pkt.offset,
+                            end if end < msg.length else msg.length):
+            msg.resends = 0  # progress resets the retry budget
         if msg.is_complete():
             del self.inbound[key]
+            if self._grantable.pop(key, None):
+                self._grant_dirty = True
             self._inbound_finished(msg)
-        self._schedule_grants()
-        self._ensure_timer()
-        self._maybe_refresh_allocation()
+        elif key in self._grantable:
+            # Refresh this message's SRPT key (only it changed).
+            heap = self._grant_heap
+            heappush(heap,
+                     [msg.length - msg.received.total,
+                      msg.first_arrival_ps, msg.sort_seq, msg])
+            if len(heap) > 128 and len(heap) > 4 * len(self._grantable):
+                self._prune_grant_heap()
+        self._schedule_grants(msg)
+        timer = self._timer_event
+        if timer is None or timer[2] is None:  # inline is_pending
+            self._ensure_timer()
+        if self.estimator is not None:
+            self._maybe_refresh_allocation()
 
     def _inbound_finished(self, msg: InboundMessage) -> None:
         self._report_complete(msg)
@@ -294,29 +375,80 @@ class HomaTransport(Transport):
             return self.cfg.overcommit_override
         return self.alloc.n_sched
 
-    def _schedule_grants(self) -> None:
-        grantable = [m for m in self.inbound.values() if m.granted < m.length]
+    def _schedule_grants(self, changed: Optional[InboundMessage] = None) -> None:
+        grantable = self._grantable
+        total = len(grantable)
         degree = self._grant_degree()
-        if len(grantable) <= degree:
-            active = grantable
+        if (changed is not None and not self._grant_dirty
+                and not self._withheld and total <= degree):
+            # Steady-state fast path: membership and allocation are
+            # unchanged since the last full pass, so every other active
+            # message already holds its full grant (the pass raised
+            # ``granted`` to its RTTbytes target and nothing about those
+            # messages moved since).  Only the message that just
+            # received data can need a new GRANT; its rank is computed
+            # against the live active set so the priority it would get
+            # from the full sort is preserved exactly.
+            msg = changed
+            if grantable.get(msg.key) is not msg:
+                return  # fully granted: nothing further to extend
+            new_grant = msg.received.total + self.rtt_bytes
+            new_grant = -(-new_grant // MAX_PAYLOAD) * MAX_PAYLOAD
+            if new_grant > msg.length:
+                new_grant = msg.length
+            if new_grant <= msg.granted:
+                return
+            self._emit_changed_grant(msg, new_grant, grantable)
+            return
+        if (total > degree) != self._withheld:
+            self._set_withheld(total > degree)
+        if not total or not degree:
+            self._grant_dirty = False
+            return
+        # Top-K (K = overcommitment degree) by (bytes_remaining,
+        # first_arrival_ps, sort_seq) straight off the lazy heap:
+        # O(K log n) per data packet instead of sorting every inbound
+        # message.  Stale entries (message completed/fully granted, or
+        # key out of date) and duplicates are discarded as they surface.
+        if total <= degree:
+            # Fast path (the common case at sane overcommitment): every
+            # grantable message is active, no ranking needed — the
+            # priority sort below establishes the final order anyway.
+            active = list(grantable.values())
         else:
-            grantable.sort(key=lambda m: (m.bytes_remaining, m.first_arrival_ps))
-            active = grantable[:degree]
+            heap = self._grant_heap
+            entries: list[list] = []
+            seen: set[int] = set()
+            while heap and len(entries) < degree:
+                entry = heappop(heap)
+                msg = entry[3]
+                key = msg.key
+                if (grantable.get(key) is not msg or key in seen
+                        or entry[0] != msg.length - msg.received.total):
+                    continue
+                seen.add(key)
+                entries.append(entry)
+            for entry in entries:
+                heappush(heap, entry)
+            active = [entry[3] for entry in entries]
             if self.cfg.grant_oldest:
                 # Section 5.1 speculation: always keep the oldest
                 # partially-received message schedulable so the very
                 # largest messages cannot starve.
-                oldest = min(grantable, key=lambda m: m.first_arrival_ps)
-                if oldest not in active:
+                oldest = self._oldest_grantable()
+                if oldest is not None and oldest not in active:
                     active[-1] = oldest
-        self._set_withheld(len(grantable) > len(active))
         if not active:
             return
         # Most remaining bytes -> rank 0 -> lowest scheduled level, so a
         # newly arriving shorter message preempts without lag (Fig 5).
-        ordered = sorted(active, key=lambda m: (-m.bytes_remaining,
-                                                -m.first_arrival_ps))
-        cutoffs = self._cutoffs_to_advertise()
+        if len(active) == 1:
+            ordered = active
+        else:
+            ordered = sorted(active, key=lambda m: (-m.bytes_remaining,
+                                                    -m.first_arrival_ps,
+                                                    m.sort_seq))
+        cutoffs = None if self.estimator is None else self._cutoffs_to_advertise()
         for rank, msg in enumerate(ordered):
             prio = self.alloc.sched_prio(rank)
             msg.sched_prio = prio
@@ -326,11 +458,104 @@ class HomaTransport(Transport):
             new_grant = min(new_grant, msg.length)
             if new_grant > msg.granted:
                 msg.granted = new_grant
+                if new_grant >= msg.length:
+                    self._grantable.pop(msg.key, None)
                 self.grants_sent += 1
-                self.send_ctrl(Packet(
-                    self.hid, msg.src, PacketType.GRANT, prio=CTRL_PRIO,
-                    rpc_id=msg.rpc_id, is_request=msg.is_request,
-                    grant_offset=new_grant, grant_prio=prio, cutoffs=cutoffs))
+                self.send_ctrl(self._grant_packet(msg, new_grant, prio,
+                                                  cutoffs))
+        self._grant_dirty = False
+
+    def _grant_packet(self, msg: InboundMessage, new_grant: int, prio: int,
+                      cutoffs: tuple | None) -> Packet:
+        # Direct construction (one per granted data packet): skips the
+        # 19-argument __init__ call; field set mirrors Packet.__init__.
+        pkt = Packet.__new__(Packet)
+        pkt.src = self.hid
+        pkt.dst = msg.src
+        pkt.kind = PacketType.GRANT
+        pkt.prio = CTRL_PRIO
+        pkt.fine_prio = 0
+        pkt.rpc_id = msg.rpc_id
+        pkt.is_request = msg.is_request
+        pkt.offset = 0
+        pkt.payload = 0
+        pkt.wire = MIN_WIRE
+        pkt.total_length = 0
+        pkt.sched = False
+        pkt.retx = False
+        pkt.incast = False
+        pkt.ecn = False
+        pkt.trimmed = False
+        pkt.grant_offset = new_grant
+        pkt.grant_prio = prio
+        pkt.range_end = 0
+        pkt.cutoffs = cutoffs
+        pkt.app_meta = None
+        pkt.created_ps = 0
+        pkt.enq_ps = 0
+        pkt.q_wait = 0
+        pkt.p_wait = 0
+        pkt.msg_key = (msg.rpc_id << 1) | (1 if msg.is_request else 0)
+        return pkt
+
+    def _emit_changed_grant(self, msg: InboundMessage, new_grant: int,
+                            grantable: dict[int, InboundMessage]) -> None:
+        """Emit the one GRANT for the message that just progressed."""
+        # Rank among the active set by (-bytes_remaining,
+        # -first_arrival_ps, sort_seq), exactly as the full sort would
+        # (tuple-free: this loop runs per data packet).
+        m_br = msg.length - msg.received.total
+        m_fa = msg.first_arrival_ps
+        m_seq = msg.sort_seq
+        rank = 0
+        for other in grantable.values():
+            if other is msg:
+                continue
+            o_br = other.length - other.received.total
+            if o_br > m_br:
+                rank += 1
+            elif o_br == m_br:
+                o_fa = other.first_arrival_ps
+                if o_fa > m_fa or (o_fa == m_fa and other.sort_seq < m_seq):
+                    rank += 1
+        prio = self.alloc.sched_prio(rank)
+        msg.sched_prio = prio
+        msg.granted = new_grant
+        if new_grant >= msg.length:
+            del grantable[msg.key]
+            self._grant_dirty = True
+        self.grants_sent += 1
+        cutoffs = None if self.estimator is None else self._cutoffs_to_advertise()
+        self.send_ctrl(self._grant_packet(msg, new_grant, prio, cutoffs))
+
+    def _prune_grant_heap(self) -> None:
+        """Drop stale/duplicate entries so the heap tracks the live set.
+
+        Amortized O(1) per push: triggered only when stale entries
+        outnumber live messages 4:1.  Valid duplicates for one message
+        are byte-identical lists, so keeping one per key is lossless.
+        """
+        grantable = self._grantable
+        fresh: dict[int, list] = {}
+        for entry in self._grant_heap:
+            msg = entry[3]
+            if (grantable.get(msg.key) is msg
+                    and entry[0] == msg.length - msg.received.total):
+                fresh[msg.key] = entry
+        heap = list(fresh.values())
+        heapify(heap)
+        self._grant_heap = heap
+
+    def _oldest_grantable(self) -> Optional[InboundMessage]:
+        """Live head of the arrival index (oldest grantable message)."""
+        heap = self._arrival_heap
+        grantable = self._grantable
+        while heap:
+            msg = heap[0][2]
+            if grantable.get(msg.key) is msg:
+                return msg
+            heappop(heap)
+        return None
 
     def _set_withheld(self, withheld: bool) -> None:
         if withheld != self._withheld:
@@ -348,8 +573,20 @@ class HomaTransport(Transport):
         msg = self.outbound.get(pkt.msg_key)
         if msg is None:
             return  # grant raced with completion
-        msg.grant_to(pkt.grant_offset, pkt.grant_prio)
-        self.kick()
+        # grant_to + sendable-transition tracking, inlined (per-grant
+        # path).  Grants never change ``remaining``, so an already
+        # sendable message keeps its live index entry.
+        was_sendable = msg.sent < msg.granted or msg.rtx
+        offset = pkt.grant_offset
+        if offset > msg.granted:
+            msg.granted = offset if offset < msg.length else msg.length
+        msg.grant_prio = pkt.grant_prio
+        if not was_sendable and msg.sent < msg.granted:
+            heappush(self._send_heap, [msg.length - msg.sent,
+                                       msg.created_ps, msg.sort_seq, msg])
+        egress = self._egress  # kick, inlined (per-grant path)
+        if not egress.busy:
+            egress._next()
 
     def _find_sender_message(self, pkt: Packet) -> Optional[OutboundMessage]:
         msg = self.outbound.get(pkt.msg_key)
@@ -383,7 +620,7 @@ class HomaTransport(Transport):
             self._send_busy(pkt)
             return
         msg.queue_rtx(pkt.offset, pkt.range_end)
-        self.outbound[msg.key] = msg  # may have been cleaned up
+        self._index_outbound(msg)  # may have been cleaned up
         if pkt.is_request:
             rpc = self.client_rpcs.get(pkt.rpc_id)
             if rpc is not None:
@@ -392,12 +629,31 @@ class HomaTransport(Transport):
 
     def _sender_is_busy(self, msg: OutboundMessage) -> bool:
         """True if a strictly shorter message is ready to transmit
-        (RESEND answered with BUSY to prevent timeouts, Figure 3)."""
-        for other in self.outbound.values():
-            if other is not msg and other.sendable() \
-                    and other.remaining < msg.remaining:
-                return True
-        return False
+        (RESEND answered with BUSY to prevent timeouts, Figure 3).
+
+        O(1) amortized: the send heap's live head *is* the shortest
+        sendable message; entries for ``msg`` itself are set aside and
+        restored so the comparison only ever sees other messages.
+        """
+        heap = self._send_heap
+        outbound = self.outbound
+        own = []
+        busy = False
+        while heap:
+            entry = heap[0]
+            other = entry[3]
+            if (outbound.get(other.key) is not other
+                    or entry[0] != other.remaining or not other.sendable()):
+                heappop(heap)
+                continue
+            if other is msg:
+                own.append(heappop(heap))
+                continue
+            busy = entry[0] < msg.remaining
+            break
+        for entry in own:
+            heappush(heap, entry)
+        return busy
 
     def _send_busy(self, resend: Packet) -> None:
         self.busys_sent += 1
@@ -406,13 +662,19 @@ class HomaTransport(Transport):
             rpc_id=resend.rpc_id, is_request=resend.is_request))
 
     def _on_busy(self, pkt: Packet) -> None:
+        # BUSY is proof the peer is alive, exactly like data progress
+        # (Figure 3's slow-server scenario), so it resets the retry
+        # budget as well as the activity clock — otherwise a live but
+        # slow server accumulates resends until a false abort.
         msg = self.inbound.get(pkt.msg_key)
         if msg is not None:
             msg.last_activity_ps = self.sim.now
+            msg.resends = 0
         if not pkt.is_request:
             rpc = self.client_rpcs.get(pkt.rpc_id)
             if rpc is not None:
                 rpc.last_activity_ps = self.sim.now
+                rpc.resends = 0
 
     # ------------------------------------------------------------------
     # timeouts (3.7)
@@ -441,6 +703,7 @@ class HomaTransport(Transport):
             msg.last_activity_ps = now
             if msg.resends > self.cfg.max_resends:
                 del self.inbound[msg.key]
+                self._grantable.pop(msg.key, None)
                 self._abort_related_rpc(msg)
                 continue
             self.resends_sent += 1
@@ -480,6 +743,7 @@ class HomaTransport(Transport):
     def _abort_client_rpc(self, rpc: ClientRpc) -> None:
         self.client_rpcs.pop(rpc.rpc_id, None)
         self.inbound.pop((rpc.rpc_id << 1), None)  # partial response
+        self._grantable.pop((rpc.rpc_id << 1), None)
         self.outbound.pop((rpc.rpc_id << 1) | 1, None)
         self._signal_error(rpc)
 
@@ -518,3 +782,5 @@ class HomaTransport(Transport):
             cdf, self.unsched_limit, n_prios=self.cfg.n_prios,
             n_unsched_override=self.cfg.n_unsched_override,
             n_sched_override=self.cfg.n_sched_override)
+        # The overcommitment degree may have moved with n_sched.
+        self._grant_dirty = True

@@ -1,4 +1,10 @@
-"""Port probe composition: several collectors sharing one port."""
+"""Port probe composition: several collectors sharing one port.
+
+Probe hooks fire on every enqueue/dequeue/transmission, so the
+composite keeps its children in a flat tuple (nested composites are
+flattened on attach) and iterates that tuple directly — no recursive
+dispatch on the hot path.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +12,16 @@ from repro.core.port import PortProbe
 
 
 class CompositeProbe(PortProbe):
-    """Fans every port event out to a list of probes."""
+    """Fans every port event out to a flat tuple of probes."""
 
     def __init__(self, probes) -> None:
-        self.probes = list(probes)
+        flat: list[PortProbe] = []
+        for probe in probes:
+            if isinstance(probe, CompositeProbe):
+                flat.extend(probe.probes)
+            else:
+                flat.append(probe)
+        self.probes = tuple(flat)
 
     def on_queue_change(self, now_ps, qbytes):
         for probe in self.probes:
@@ -32,7 +44,5 @@ def attach_probe(port, probe: PortProbe) -> None:
     """Attach a probe to a port, composing with any existing probe."""
     if port.probe is None:
         port.probe = probe
-    elif isinstance(port.probe, CompositeProbe):
-        port.probe.probes.append(probe)
     else:
         port.probe = CompositeProbe([port.probe, probe])

@@ -39,6 +39,11 @@ class Transport:
 
     def bind(self, host) -> None:
         self.host = host
+        # Shadow the method with the NIC's bound kick, and keep a direct
+        # egress reference: transports touch these once or more per
+        # packet, so skip the attribute chase.
+        self.kick = host.egress.kick
+        self._egress = host.egress
 
     @property
     def hid(self) -> int:
@@ -54,8 +59,17 @@ class Transport:
 
     def send_ctrl(self, pkt: Packet) -> None:
         """Queue a control packet (highest priority, FIFO)."""
-        self.ctrl.append(pkt)
-        self.kick()
+        egress = self._egress
+        if egress.busy:
+            # The NIC pulls the ctrl queue first when the wire frees.
+            self.ctrl.append(pkt)
+        elif self.ctrl:
+            self.ctrl.append(pkt)
+            egress.kick()
+        else:
+            # Idle NIC, empty ctrl queue: the pull would return exactly
+            # this packet — hand it straight to the wire.
+            egress._transmit(pkt)
 
     def next_packet(self) -> Optional[Packet]:
         """NIC pull: control first, then protocol-chosen data."""

@@ -8,6 +8,7 @@ the receiver collates them using the offsets in each packet").
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Optional
 
@@ -15,12 +16,21 @@ from repro.core.packet import MAX_PAYLOAD
 
 
 class Intervals:
-    """A set of disjoint, sorted half-open byte ranges [start, end)."""
+    """A set of disjoint, sorted half-open byte ranges [start, end).
 
-    __slots__ = ("_ranges", "total")
+    Out-of-order arrivals splice into place with a bisect plus one slice
+    assignment over just the overlapped ranges — O(log n + k) for k
+    merged ranges — instead of rebuilding and re-sorting the whole list
+    (per-packet spraying makes ``add`` a per-data-packet hot path for
+    every protocol here).  ``_starts`` mirrors the range start offsets
+    so lookups can bisect without touching the range lists.
+    """
+
+    __slots__ = ("_ranges", "_starts", "total")
 
     def __init__(self) -> None:
         self._ranges: list[list[int]] = []
+        self._starts: list[int] = []
         self.total = 0
 
     def add(self, start: int, end: int) -> int:
@@ -30,6 +40,7 @@ class Intervals:
         ranges = self._ranges
         if not ranges or start > ranges[-1][1]:
             ranges.append([start, end])  # fast path: append at the end
+            self._starts.append(start)
             self.total += end - start
             return end - start
         if start == ranges[-1][1]:  # fast path: contiguous arrival
@@ -37,35 +48,34 @@ class Intervals:
             ranges[-1][1] = end
             self.total += added
             return added
-        # General case: merge into place.
-        new_ranges: list[list[int]] = []
+        # General case: splice into place.  Every range with
+        # range.end < start stays untouched on the left; find the first
+        # candidate via bisect on the start offsets (a range can only
+        # overlap/touch [start, end) if its own start is <= end).
+        starts = self._starts
+        lo = bisect_left(starts, start)
+        if lo and ranges[lo - 1][1] >= start:
+            lo -= 1  # predecessor reaches into the new range
+        hi = bisect_right(starts, end, lo=lo)
         added = end - start
         ns, ne = start, end
-        inserted = False
-        for s, e in ranges:
-            if e < ns:
-                new_ranges.append([s, e])
-            elif s > ne:
-                if not inserted:
-                    new_ranges.append([ns, ne])
-                    inserted = True
-                new_ranges.append([s, e])
-            else:  # overlap: fold existing range into the new one
-                added -= min(e, ne) - max(s, ns)
-                ns, ne = min(s, ns), max(e, ne)
-        if not inserted:
-            new_ranges.append([ns, ne])
-        new_ranges.sort()
-        self._ranges = new_ranges
+        for s, e in ranges[lo:hi]:
+            overlap = min(e, ne) - max(s, ns)
+            if overlap > 0:
+                added -= overlap
+            if s < ns:
+                ns = s
+            if e > ne:
+                ne = e
+        ranges[lo:hi] = [[ns, ne]]
+        starts[lo:hi] = [ns]
         self.total += added
         return added
 
     def covers(self, start: int, end: int) -> bool:
         """True if [start, end) is fully contained."""
-        for s, e in self._ranges:
-            if s <= start and end <= e:
-                return True
-        return False
+        index = bisect_right(self._starts, start) - 1
+        return index >= 0 and self._ranges[index][1] >= end
 
     def first_gap(self, upto: int) -> Optional[tuple[int, int]]:
         """First missing range below ``upto`` (for RESEND requests)."""
@@ -103,7 +113,7 @@ class OutboundMessage:
     __slots__ = (
         "rpc_id", "is_request", "src", "dst", "length", "sent", "granted",
         "grant_prio", "unsched_limit", "created_ps", "rtx", "app_meta",
-        "incast", "acked", "cwnd", "in_flight", "done",
+        "incast", "acked", "cwnd", "in_flight", "done", "sort_seq", "key",
     )
 
     def __init__(
@@ -138,10 +148,13 @@ class OutboundMessage:
         self.cwnd = 0
         self.in_flight = 0
         self.done = False
-
-    @property
-    def key(self) -> int:
-        return (self.rpc_id << 1) | (1 if self.is_request else 0)
+        # Deterministic tie-break for indexed SRPT schedulers: assigned
+        # by the transport in registration order (= dict insertion order
+        # of the pre-index linear scans it replaces).
+        self.sort_seq = 0
+        # Message identity, precomputed: this is the hash key for every
+        # transport-side dict and index validation on the packet path.
+        self.key = (rpc_id << 1) | (1 if is_request else 0)
 
     @property
     def remaining(self) -> int:
@@ -155,13 +168,36 @@ class OutboundMessage:
         self.grant_prio = prio
 
     def queue_rtx(self, start: int, end: int) -> None:
-        """Queue a byte range for retransmission."""
+        """Queue a byte range for retransmission.
+
+        Overlapping RESENDs race in practice (the receiver's timer and a
+        client timer can request the same gap); coalescing against the
+        already-queued ranges keeps every byte at most once in ``rtx``,
+        so duplicate requests cannot inflate retransmitted bytes.  The
+        queue is kept sorted and disjoint; retransmissions therefore go
+        out lowest-offset first.
+        """
         end = min(end, self.length)
-        if end > start:
-            self.rtx.append([start, end])
+        if end <= start:
+            return
+        merged: list[int] = [start, end]
+        keep: list[list[int]] = []
+        for chunk in self.rtx:
+            if chunk[1] < merged[0] or chunk[0] > merged[1]:
+                keep.append(chunk)
+            else:  # overlapping or adjacent: fold into the new range
+                if chunk[0] < merged[0]:
+                    merged[0] = chunk[0]
+                if chunk[1] > merged[1]:
+                    merged[1] = chunk[1]
+        keep.append(merged)
+        keep.sort()
+        self.rtx = deque(keep)
 
     def sendable(self) -> bool:
-        return bool(self.rtx) or self.sent < min(self.granted, self.length)
+        # ``granted`` is capped at ``length`` on every write, so the
+        # grant limit needs no re-clamping here (hot path).
+        return self.sent < self.granted or bool(self.rtx)
 
     def fully_sent(self) -> bool:
         return self.sent >= self.length and not self.rtx
@@ -176,7 +212,7 @@ class OutboundMessage:
             if chunk[0] >= chunk[1]:
                 self.rtx.popleft()
             return (offset, size, True)
-        limit = min(self.granted, self.length)
+        limit = self.granted
         if self.sent < limit:
             offset = self.sent
             size = min(MAX_PAYLOAD, limit - offset)
@@ -192,6 +228,7 @@ class InboundMessage:
         "rpc_id", "is_request", "src", "dst", "length", "received",
         "granted", "sched_prio", "first_arrival_ps", "last_activity_ps",
         "resends", "completed", "app_meta", "incast", "created_ps",
+        "sort_seq", "key",
     )
 
     def __init__(
@@ -219,10 +256,8 @@ class InboundMessage:
         self.app_meta: int | None = None
         self.incast = False
         self.created_ps = now_ps  # overwritten with the sender's stamp
-
-    @property
-    def key(self) -> int:
-        return (self.rpc_id << 1) | (1 if self.is_request else 0)
+        self.sort_seq = 0         # see OutboundMessage.sort_seq
+        self.key = (rpc_id << 1) | (1 if is_request else 0)
 
     @property
     def bytes_received(self) -> int:

@@ -14,6 +14,10 @@ RTT = 9680
 
 
 class FakeEgress:
+    #: "wire busy" so send_ctrl queues packets in transport.ctrl, where
+    #: the tests inspect them
+    busy = True
+
     def __init__(self):
         self.kicks = 0
 

@@ -72,8 +72,8 @@ def test_granted_minus_received_bounded():
 
     original = receiver._schedule_grants
 
-    def checked():
-        original()
+    def checked(*args):
+        original(*args)
         for m in receiver.inbound.values():
             if m.granted - m.bytes_received > bound:
                 violations.append(m.granted - m.bytes_received)

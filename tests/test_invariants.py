@@ -70,8 +70,8 @@ def test_prop_flow_control_bound(schedule):
     for transport in transports:
         original = transport._schedule_grants
 
-        def checked(t=transport, original=original):
-            original()
+        def checked(*args, t=transport, original=original):
+            original(*args)
             for m in t.inbound.values():
                 excess = m.granted - m.bytes_received
                 if excess > bound:
@@ -100,14 +100,16 @@ def test_prop_overcommitment_degree_respected(schedule, degree):
         original = transport._schedule_grants
         unsched = transport.unsched_limit
 
-        def checked(t=transport, original=original, unsched=unsched):
-            original()
-            # Messages beyond their unscheduled prefix that hold grants
-            # they have not finished consuming = active messages.
+        def checked(*args, t=transport, original=original, unsched=unsched):
+            original(*args)
+            # Messages being actively granted: beyond their unscheduled
+            # prefix but not yet granted to completion.  A message whose
+            # grant already reached its length is merely draining its
+            # last RTTbytes and frees its overcommitment slot (the
+            # receiver stops granting it), so it does not count.
             active = sum(
                 1 for m in t.inbound.values()
-                if m.granted > min(unsched, m.length)
-                and m.bytes_received < m.granted)
+                if min(unsched, m.length) < m.granted < m.length)
             if active > degree:
                 over_limit.append(active)
         transport._schedule_grants = checked
