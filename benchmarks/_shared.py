@@ -2,25 +2,32 @@
 
 Each benchmark regenerates one paper figure/table, prints a text
 rendering, and writes it under ``benchmarks/results/`` so the artifacts
-survive pytest's output capture.  Figure pairs that share simulation
-runs (8/9, 12/13) cache results in-process.
+survive pytest's output capture.  Simulation results themselves are
+memoized by the campaign runner's on-disk cache
+(``repro.experiments.campaign``), so figure pairs that share runs
+(8/9, 12/13) and repeated invocations reuse cells across processes —
+the old in-process ``cached`` memo is gone.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
+
+try:
+    import pytest
+except ModuleNotFoundError:  # runtime-only install: the campaign CLI
+    pytest = None            # imports these modules without test deps
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-_cache: dict = {}
 
-
-def cached(key, compute):
-    """Process-wide memo so figure pairs reuse the same runs."""
-    if key not in _cache:
-        _cache[key] = compute()
-    return _cache[key]
+def parametrize(argnames: str, argvalues):
+    """``pytest.mark.parametrize`` when pytest is available, a no-op
+    decorator otherwise, so ``python -m repro campaign`` can import the
+    benchmark modules in an environment without test dependencies."""
+    if pytest is None:
+        return lambda fn: fn
+    return pytest.mark.parametrize(argnames, argvalues)
 
 
 def save_result(name: str, text: str) -> str:
@@ -36,7 +43,11 @@ def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     These are simulation-campaign benchmarks (minutes), not
-    microbenchmarks; one round is the honest measurement.
+    microbenchmarks; one round is the honest measurement.  When the
+    benchmark fixture is absent or disabled, ``fn`` runs directly so
+    any failure propagates unwrapped — a dying campaign cell raises
+    ``CampaignCellError`` naming the failing cell's config instead of
+    being masked by the fixture plumbing.
     """
     if benchmark is not None and getattr(benchmark, "enabled", True):
         return benchmark.pedantic(fn, rounds=1, iterations=1)

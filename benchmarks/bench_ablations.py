@@ -10,71 +10,65 @@
 * **online priority estimation** (section 4: the RAMCloud
   implementation precomputed priorities; the full mechanism measures
   incoming message lengths on the fly).
+
+All six runs (three baseline/variant pairs) are cells of one campaign.
 """
 
-import pytest
-
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import scaled_kwargs
 from repro.homa.config import HomaConfig
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 
-def run_preemption():
-    base = ExperimentConfig(protocol="homa", workload="W3", load=0.8,
-                            **scaled_kwargs("W3"))
-    normal = run_experiment(base)
-    preempt = ExperimentConfig(
-        protocol="homa", workload="W3", load=0.8,
-        net_overrides={"preemptive_links": True},
-        **scaled_kwargs("W3"))
-    preemptive = run_experiment(preempt)
-    return normal, preemptive
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {
+        ("preempt", "normal"): ExperimentConfig(
+            protocol="homa", workload="W3", load=0.8,
+            **scaled_kwargs("W3")),
+        ("preempt", "preemptive"): ExperimentConfig(
+            protocol="homa", workload="W3", load=0.8,
+            net_overrides={"preemptive_links": True},
+            **scaled_kwargs("W3")),
+        ("oldest", "normal"): ExperimentConfig(
+            protocol="homa", workload="W4", load=0.8,
+            **scaled_kwargs("W4")),
+        ("oldest", "reserved"): ExperimentConfig(
+            protocol="homa", workload="W4", load=0.8,
+            homa=HomaConfig(grant_oldest=True), **scaled_kwargs("W4")),
+        ("online", "static"): ExperimentConfig(
+            protocol="homa", workload="W2", load=0.8,
+            **scaled_kwargs("W2")),
+        ("online", "online"): ExperimentConfig(
+            protocol="homa", workload="W2", load=0.8,
+            homa=HomaConfig(online_priorities=True,
+                            online_refresh_ps=2_000_000_000),
+            **scaled_kwargs("W2")),
+    }
+    return campaign.experiment_grid("ablations", cfgs)
 
 
-def run_grant_oldest():
-    kwargs = scaled_kwargs("W4")
-    normal = run_experiment(ExperimentConfig(
-        protocol="homa", workload="W4", load=0.8, **kwargs))
-    oldest = run_experiment(ExperimentConfig(
-        protocol="homa", workload="W4", load=0.8,
-        homa=HomaConfig(grant_oldest=True), **kwargs))
-    return normal, oldest
+def run_campaign(jobs=None, fresh=False):
+    return campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
 
 
-def run_online_priorities():
-    kwargs = scaled_kwargs("W2")
-    static = run_experiment(ExperimentConfig(
-        protocol="homa", workload="W2", load=0.8, **kwargs))
-    online = run_experiment(ExperimentConfig(
-        protocol="homa", workload="W2", load=0.8,
-        homa=HomaConfig(online_priorities=True, online_refresh_ps=2_000_000_000),
-        **kwargs))
-    return static, online
-
-
-def test_ablation_link_preemption(benchmark):
-    normal, preemptive = run_once(
-        benchmark, lambda: cached("abl_preempt", run_preemption))
-    text = "\n".join([
+def render_preemption(results) -> str:
+    normal = results[("preempt", "normal")]
+    preemptive = results[("preempt", "preemptive")]
+    return "\n".join([
         "== Ablation: ideal link-level packet preemption (W3, 80%) ==",
         f"  normal links:      p99 slowdown {normal.tracker.overall(99):.2f}",
         f"  preemptive links:  p99 slowdown {preemptive.tracker.overall(99):.2f}",
         "  paper (Fig 14): remaining tail delay is almost entirely "
         "preemption lag, so preemptive links should approach slowdown 1",
     ])
-    save_result("ablation_preemption", text)
-    assert preemptive.tracker.overall(99) <= normal.tracker.overall(99) + 0.05
 
 
-def test_ablation_grant_oldest(benchmark):
-    normal, oldest = run_once(
-        benchmark, lambda: cached("abl_oldest", run_grant_oldest))
-    # Compare the very largest messages (the SRPT outliers).
-    normal_tail = normal.slowdown_series(99)[-1]
-    oldest_tail = oldest.slowdown_series(99)[-1]
-    text = "\n".join([
+def render_grant_oldest(results) -> str:
+    normal_tail = results[("oldest", "normal")].slowdown_series(99)[-1]
+    oldest_tail = results[("oldest", "reserved")].slowdown_series(99)[-1]
+    return "\n".join([
         "== Ablation: reserve a grant slot for the oldest message "
         "(W4, 80%) ==",
         f"  pure SRPT:        largest-bucket p99 slowdown {normal_tail:.2f}",
@@ -82,20 +76,47 @@ def test_ablation_grant_oldest(benchmark):
         "  paper (5.1): speculated to improve the 100x outliers for the "
         "very largest messages",
     ])
-    save_result("ablation_grant_oldest", text)
-    assert oldest.finish_rate > 0.9
 
 
-def test_ablation_online_priorities(benchmark):
-    static, online = run_once(
-        benchmark, lambda: cached("abl_online", run_online_priorities))
-    text = "\n".join([
+def render_online(results) -> str:
+    static = results[("online", "static")]
+    online = results[("online", "online")]
+    return "\n".join([
         "== Ablation: online priority estimation vs precomputed (W2, 80%) ==",
         f"  precomputed: p99 slowdown {static.tracker.overall(99):.2f}",
         f"  online:      p99 slowdown {online.tracker.overall(99):.2f}",
         "  paper (4): the implementation precomputed priorities from the "
         "benchmark workload; online estimation should converge close",
     ])
-    save_result("ablation_online_priorities", text)
+
+
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results = run_campaign(jobs=jobs, fresh=fresh)
+    return [
+        save_result("ablation_preemption", render_preemption(results)),
+        save_result("ablation_grant_oldest", render_grant_oldest(results)),
+        save_result("ablation_online_priorities", render_online(results)),
+    ]
+
+
+def test_ablation_link_preemption(benchmark):
+    results = run_once(benchmark, run_campaign)
+    save_result("ablation_preemption", render_preemption(results))
+    normal = results[("preempt", "normal")]
+    preemptive = results[("preempt", "preemptive")]
+    assert preemptive.tracker.overall(99) <= normal.tracker.overall(99) + 0.05
+
+
+def test_ablation_grant_oldest(benchmark):
+    results = run_once(benchmark, run_campaign)
+    save_result("ablation_grant_oldest", render_grant_oldest(results))
+    assert results[("oldest", "reserved")].finish_rate > 0.9
+
+
+def test_ablation_online_priorities(benchmark):
+    results = run_once(benchmark, run_campaign)
+    save_result("ablation_online_priorities", render_online(results))
+    static = results[("online", "static")]
+    online = results[("online", "online")]
     # Online estimation must be in the same ballpark as precomputed.
     assert online.tracker.overall(99) < 3.0 * static.tracker.overall(99)

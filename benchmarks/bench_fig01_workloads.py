@@ -1,8 +1,19 @@
-"""Figure 1: the five workloads' message-count and byte-weighted CDFs."""
+"""Figure 1: the five workloads' message-count and byte-weighted CDFs.
 
+No simulation: the figure derives from the workload catalog alone, so
+its "campaign" has zero cells; it still routes through the campaign
+runner so ``python -m repro campaign fig01`` treats every figure
+uniformly.
+"""
+
+from repro.experiments import campaign
 from repro.workloads.catalog import WORKLOADS
 
 from _shared import run_once, save_result
+
+
+def campaign_spec() -> campaign.CampaignSpec:
+    return campaign.CampaignSpec(name="fig01", cells=())
 
 
 def render_fig01() -> str:
@@ -23,6 +34,11 @@ def render_fig01() -> str:
     lines.append("paper anchors: W1 >70% of bytes <1000B; W5 ~95% of bytes "
                  ">1MB; ordering by mean size W1<W2<W3<W4<W5")
     return "\n".join(lines)
+
+
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    return [save_result("fig01_workloads", render_fig01())]
 
 
 def test_fig01_workloads(benchmark):

@@ -12,16 +12,15 @@ ordering — Homa < HomaP2 < Basic << single-stream — is the claim under
 test.
 """
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import FIG8
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale
 from repro.experiments.tables import series_table
 from repro.homa.config import HomaConfig
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import parametrize, run_once, save_result
 
 VARIANTS = (
     ("Homa", "homa", None),
@@ -46,7 +45,7 @@ def cluster_kwargs():
                 max_messages=scale.max_messages, mode="rpc_echo")
 
 
-def run_campaign(workload: str):
+def campaign_spec(workload: str) -> campaign.CampaignSpec:
     heavy = workload in ("W4", "W5")
     scale = current_scale()
     kwargs = cluster_kwargs()
@@ -54,15 +53,18 @@ def run_campaign(workload: str):
         kwargs["duration_ms"] = scale.heavy_duration_ms
         kwargs["drain_ms"] = scale.heavy_drain_ms
         kwargs["max_messages"] = scale.heavy_max_messages
-    results = {}
+    cfgs = {}
     for label, protocol, n_prios in VARIANTS:
         homa_cfg = None  # protocol defaults (Basic keeps basic())
         if n_prios is not None:
             homa_cfg = HomaConfig().with_prios(n_prios)
-        cfg = ExperimentConfig(protocol=protocol, workload=workload,
-                               load=0.8, homa=homa_cfg, **kwargs)
-        results[label] = run_experiment(cfg)
-    return results
+        cfgs[label] = ExperimentConfig(protocol=protocol, workload=workload,
+                                       load=0.8, homa=homa_cfg, **kwargs)
+    return campaign.experiment_grid(f"fig08-{workload}", cfgs)
+
+
+def run_campaign(workload: str, jobs=None, fresh=False):
+    return campaign.run(campaign_spec(workload), jobs=jobs, fresh=fresh)
 
 
 def render(workload: str, results, percentile: float, figure: str) -> str:
@@ -80,12 +82,21 @@ def render(workload: str, results, percentile: float, figure: str) -> str:
     return text
 
 
-@pytest.mark.parametrize("workload",
-                         WORKLOADS_BY_SCALE[current_scale().name])
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    """CLI entry: regenerate Figures 8 and 9 at the current scale."""
+    paths = []
+    for workload in WORKLOADS_BY_SCALE[current_scale().name]:
+        results = run_campaign(workload, jobs=jobs, fresh=fresh)
+        paths.append(save_result(f"fig08_implementation_p99_{workload}",
+                                 render(workload, results, 99, "8")))
+        paths.append(save_result(f"fig09_implementation_median_{workload}",
+                                 render(workload, results, 50, "9")))
+    return paths
+
+
+@parametrize("workload", WORKLOADS_BY_SCALE[current_scale().name])
 def test_fig08_implementation_p99(benchmark, workload):
-    results = run_once(benchmark,
-                       lambda: cached(("fig08", workload),
-                                      lambda: run_campaign(workload)))
+    results = run_once(benchmark, lambda: run_campaign(workload))
     text = render(workload, results, 99, "8")
     save_result(f"fig08_implementation_p99_{workload}", text)
     homa = results["Homa"]
@@ -99,12 +110,9 @@ def test_fig08_implementation_p99(benchmark, workload):
         assert small_stream > small_homa
 
 
-@pytest.mark.parametrize("workload",
-                         WORKLOADS_BY_SCALE[current_scale().name])
+@parametrize("workload", WORKLOADS_BY_SCALE[current_scale().name])
 def test_fig09_implementation_median(benchmark, workload):
-    results = run_once(benchmark,
-                       lambda: cached(("fig08", workload),
-                                      lambda: run_campaign(workload)))
+    results = run_once(benchmark, lambda: run_campaign(workload))
     text = render(workload, results, 50, "9")
     save_result(f"fig09_implementation_median_{workload}", text)
     assert results["Homa"].tracker.overall(50) >= 1.0

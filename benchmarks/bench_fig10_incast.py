@@ -8,20 +8,24 @@ Without it, every 10 KB response arrives blind; past the point where
 concurrent responses exceed the TOR downlink buffer, drops and
 millisecond RESEND timeouts crater goodput (the paper sees the cliff
 around 300 concurrent RPCs).
-"""
 
-import pytest
+This benchmark is not an ``ExperimentConfig`` grid — each cell drives
+a bespoke incast client — so it registers its own campaign task
+(:func:`incast_task`); the shard scheduler and cache treat it exactly
+like the standard cells.
+"""
 
 from repro.apps.incast import IncastClient
 from repro.core.engine import Simulator
 from repro.core.topology import NetworkConfig, build_network
 from repro.core.units import MS
+from repro.experiments import campaign
 from repro.experiments.scale import current_scale
 from repro.homa.config import HomaConfig
 from repro.transport.registry import transport_factory
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 #: shared-buffer bytes one bursting port may occupy (typical shallow
 #: datacenter switch: a few MB of shared pool); sets the no-control
@@ -32,8 +36,10 @@ CONCURRENCIES = {"tiny": (10, 100, 400),
                  "quick": (10, 50, 150, 300, 500, 1000, 2000),
                  "paper": (10, 50, 150, 300, 500, 1000, 2000, 5000)}
 
+INCAST_TASK = "bench_fig10_incast:incast_task"
 
-def run_incast(concurrency: int, control: bool) -> float:
+
+def run_incast(concurrency: int, control: bool, scale_name: str) -> float:
     sim = Simulator()
     net = build_network(sim, NetworkConfig(
         racks=1, hosts_per_rack=16, aggrs=0,
@@ -52,18 +58,41 @@ def run_incast(concurrency: int, control: bool) -> float:
     sim.run(until_ps=warmup)
     client.response_bytes_received = 0
     client.started_ps = sim.now
-    duration = (10 if current_scale().name != "tiny" else 4) * MS
+    duration = (10 if scale_name != "tiny" else 4) * MS
     sim.run(until_ps=warmup + duration)
     return client.goodput_gbps()
 
 
-def run_campaign():
-    rows = []
-    for concurrency in CONCURRENCIES[current_scale().name]:
-        with_control = run_incast(concurrency, control=True)
-        without = run_incast(concurrency, control=False)
-        rows.append((concurrency, with_control, without))
-    return rows
+def incast_task(spec: dict) -> dict:
+    """Campaign cell task: one incast scenario to a JSON payload.
+
+    The scale is baked into the spec (rather than read from the
+    environment) so the cache key distinguishes tiny from quick runs.
+    """
+    return {"goodput_gbps": run_incast(spec["concurrency"], spec["control"],
+                                       spec["scale"])}
+
+
+def campaign_spec() -> campaign.CampaignSpec:
+    scale_name = current_scale().name
+    cells = []
+    for concurrency in CONCURRENCIES[scale_name]:
+        for control in (True, False):
+            cells.append(campaign.Cell(
+                key=(concurrency, control),
+                spec={"concurrency": concurrency, "control": control,
+                      "scale": scale_name},
+                task=INCAST_TASK,
+                decode=campaign.IDENTITY_DECODE))
+    return campaign.CampaignSpec(name="fig10", cells=tuple(cells))
+
+
+def run_campaign(jobs=None, fresh=False):
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    return [(concurrency,
+             results[(concurrency, True)]["goodput_gbps"],
+             results[(concurrency, False)]["goodput_gbps"])
+            for concurrency in CONCURRENCIES[current_scale().name]]
 
 
 def render(rows) -> str:
@@ -80,8 +109,13 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    rows = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig10_incast", render(rows))]
+
+
 def test_fig10_incast(benchmark):
-    rows = run_once(benchmark, lambda: cached("fig10", run_campaign))
+    rows = run_once(benchmark, run_campaign)
     save_result("fig10_incast", render(rows))
     small = rows[0]
     big = rows[-1]

@@ -5,27 +5,30 @@ where a packet from a short message arrives at a link while it is busy
 transmitting a packet from a longer message."
 """
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import FIG14_DELAYS_US
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale, scaled_kwargs
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 WORKLOADS = {"tiny": ("W3",), "quick": ("W1", "W2", "W3", "W4", "W5"),
              "paper": ("W1", "W2", "W3", "W4", "W5")}
 
 
-def run_campaign():
-    rows = []
-    for workload in WORKLOADS[current_scale().name]:
-        cfg = ExperimentConfig(protocol="homa", workload=workload, load=0.8,
-                               collect=("delays",),
-                               **scaled_kwargs(workload))
-        result = run_experiment(cfg)
-        rows.append((workload, *result.delay_breakdown))
-    return rows
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {
+        workload: ExperimentConfig(
+            protocol="homa", workload=workload, load=0.8,
+            collect=("delays",), **scaled_kwargs(workload))
+        for workload in WORKLOADS[current_scale().name]}
+    return campaign.experiment_grid("fig14", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    return [(workload, *result.delay_breakdown)
+            for workload, result in results.items()]
 
 
 def render(rows) -> str:
@@ -44,8 +47,13 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    rows = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig14_delay_sources", render(rows))]
+
+
 def test_fig14_delay_sources(benchmark):
-    rows = run_once(benchmark, lambda: cached("fig14", run_campaign))
+    rows = run_once(benchmark, run_campaign)
     save_result("fig14_delay_sources", render(rows))
     # Shape: preemption lag dominates queueing for most workloads.
     # W5 is excluded: with one unscheduled level its blind multi-packet

@@ -2,16 +2,22 @@
 
 "Homa can operate at higher network loads than either pFabric, pHost,
 NDP, or PIAS, and its capacity is more stable across workloads."
+
+The ascending sweep runs as a **speculative shard**: every grid load
+for every (workload, protocol) pair is one independent campaign cell,
+all probed in parallel, and ``collate_max_load`` re-applies the serial
+sweep's last-stable semantics afterwards (probes past the first
+unstable load are discarded), so the reported rows are identical to
+the classic early-break search.
 """
 
-import pytest
-
-from repro.experiments.maxload import find_max_load
+from repro.experiments import campaign
+from repro.experiments.maxload import collate_max_load, probe_config
 from repro.experiments.paper_data import FIG15_MAX_LOAD
 from repro.experiments.runner import ExperimentConfig
-from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.scale import campaign_kwargs, current_scale
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 #: (workload, protocols) pairs exercised per scale; paper mode covers
 #: the full matrix, quick mode a representative slice.
@@ -33,22 +39,34 @@ GRID = {"tiny": (0.5, 0.7, 0.8),
         "paper": (0.5, 0.58, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95)}
 
 
-def run_campaign():
+def _base_config(workload: str, protocol: str) -> ExperimentConfig:
+    # Stability detection needs uncapped open-loop generation: a
+    # message cap would let even an overloaded run drain.
+    cap_ms = {"W4": 12.0, "W5": 30.0}.get(workload)
+    kwargs = campaign_kwargs(workload, uncapped=True, duration_cap_ms=cap_ms)
+    return ExperimentConfig(protocol=protocol, workload=workload, **kwargs)
+
+
+def campaign_spec() -> campaign.CampaignSpec:
     scale = current_scale()
+    cfgs = {}
+    for workload, protocols in MATRIX[scale.name]:
+        for protocol in protocols:
+            base = _base_config(workload, protocol)
+            for load in GRID[scale.name]:
+                cfgs[(workload, protocol, load)] = probe_config(base, load)
+    return campaign.experiment_grid("fig15", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    scale = current_scale()
+    grid = GRID[scale.name]
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
     rows = []
     for workload, protocols in MATRIX[scale.name]:
-        kwargs = scaled_kwargs(workload)
-        # Stability detection needs uncapped open-loop generation:
-        # a message cap would let even an overloaded run drain.
-        kwargs["max_messages"] = None
-        if workload == "W4":
-            kwargs["duration_ms"] = min(kwargs["duration_ms"], 12.0)
-        if workload == "W5":
-            kwargs["duration_ms"] = min(kwargs["duration_ms"], 30.0)
         for protocol in protocols:
-            base = ExperimentConfig(protocol=protocol, workload=workload,
-                                    **kwargs)
-            rows.append(find_max_load(base, grid=GRID[scale.name]))
+            probes = [results[(workload, protocol, load)] for load in grid]
+            rows.append(collate_max_load(grid, probes))
     return rows
 
 
@@ -68,8 +86,13 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    rows = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig15_max_load", render(rows))]
+
+
 def test_fig15_max_load(benchmark):
-    rows = run_once(benchmark, lambda: cached("fig15", run_campaign))
+    rows = run_once(benchmark, run_campaign)
     save_result("fig15_max_load", render(rows))
     by_key = {(r.workload, r.protocol): r.max_load for r in rows}
     # Shape: Homa sustains at least as much load as pHost everywhere.

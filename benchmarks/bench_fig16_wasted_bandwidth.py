@@ -6,38 +6,38 @@ support a network load of about 63% for workload W4, versus 89% with an
 overcommitment level of 7."
 """
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import FIG16_W4_MAX_LOAD_BY_DEGREE
-from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scale import campaign_kwargs, current_scale
 from repro.homa.config import HomaConfig
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 DEGREES = {"tiny": (1, 7), "quick": (1, 2, 4, 7), "paper": (1, 2, 3, 4, 5, 7)}
 LOADS = {"tiny": (0.5, 0.8), "quick": (0.5, 0.63, 0.8, 0.89),
          "paper": (0.3, 0.5, 0.63, 0.7, 0.8, 0.89)}
 
 
-def run_campaign():
+def campaign_spec() -> campaign.CampaignSpec:
     scale = current_scale()
-    kwargs = scaled_kwargs("W4")
     # Wasted-bandwidth fractions need continuous open-loop generation.
-    kwargs["max_messages"] = None
-    kwargs["duration_ms"] = min(kwargs["duration_ms"], 12.0)
-    rows = []
+    kwargs = campaign_kwargs("W4", uncapped=True, duration_cap_ms=12.0)
+    cfgs = {}
     for degree in DEGREES[scale.name]:
         for load in LOADS[scale.name]:
-            cfg = ExperimentConfig(
+            cfgs[(degree, load)] = ExperimentConfig(
                 protocol="homa", workload="W4", load=load,
                 homa=HomaConfig(n_sched_override=degree),
                 collect=("wasted",),
                 **kwargs)
-            result = run_experiment(cfg)
-            rows.append((degree, load, result.wasted_fraction,
-                         result.finish_rate))
-    return rows
+    return campaign.experiment_grid("fig16", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    return [(degree, load, result.wasted_fraction, result.finish_rate)
+            for (degree, load), result in results.items()]
 
 
 def render(rows) -> str:
@@ -56,8 +56,13 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    rows = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig16_wasted_bandwidth", render(rows))]
+
+
 def test_fig16_wasted_bandwidth(benchmark):
-    rows = run_once(benchmark, lambda: cached("fig16", run_campaign))
+    rows = run_once(benchmark, run_campaign)
     save_result("fig16_wasted_bandwidth", render(rows))
     by_key = {(d, l): (w, f) for d, l, w, f in rows}
     degrees = sorted({d for d, _, _, _ in rows})

@@ -6,29 +6,31 @@ level improves latency for more than 80% of messages; additional levels
 provide smaller gains."
 """
 
-import pytest
-
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale, scaled_kwargs
 from repro.experiments.tables import series_table
 from repro.homa.config import HomaConfig
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 LEVELS = {"tiny": (1, 7), "quick": (1, 2, 3, 7), "paper": (1, 2, 3, 7)}
 
 
-def run_campaign():
-    results = {}
-    for n_unsched in LEVELS[current_scale().name]:
-        cfg = ExperimentConfig(
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {
+        n_unsched: ExperimentConfig(
             protocol="homa", workload="W1", load=0.8,
             homa=HomaConfig(n_unsched_override=n_unsched,
                             n_sched_override=1),
             **scaled_kwargs("W1"))
-        results[n_unsched] = run_experiment(cfg)
-    return results
+        for n_unsched in LEVELS[current_scale().name]}
+    return campaign.experiment_grid("fig17", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    return campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
 
 
 def render(results) -> str:
@@ -44,8 +46,13 @@ def render(results) -> str:
     return text
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig17_unsched_prios", render(results))]
+
+
 def test_fig17_unsched_prios(benchmark):
-    results = run_once(benchmark, lambda: cached("fig17", run_campaign))
+    results = run_once(benchmark, run_campaign)
     save_result("fig17_unsched_prios", render(results))
     levels = sorted(results)
     one = results[levels[0]].slowdown_series(99)

@@ -6,34 +6,36 @@ noticeable penalty ... Homa's policy of balancing traffic in the levels
 would choose a cutoff point of 1930 bytes."
 """
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import FIG18_BALANCED_CUTOFF
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale, scaled_kwargs
 from repro.experiments.tables import series_table
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import compute_cutoffs
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 CUTOFFS = {"tiny": (100, 2000), "quick": (100, 400, 1000, 2000, 4000),
            "paper": (100, 400, 1000, 2000, 4000)}
 
 
-def run_campaign():
-    workload = get_workload("W3")
-    max_bytes = workload.cdf.max_bytes()
-    results = {}
-    for cutoff in CUTOFFS[current_scale().name]:
-        cfg = ExperimentConfig(
+def campaign_spec() -> campaign.CampaignSpec:
+    max_bytes = get_workload("W3").cdf.max_bytes()
+    cfgs = {
+        cutoff: ExperimentConfig(
             protocol="homa", workload="W3", load=0.8,
             homa=HomaConfig(n_unsched_override=2,
                             cutoff_override=(cutoff, max_bytes)),
             **scaled_kwargs("W3"))
-        results[cutoff] = run_experiment(cfg)
-    balanced = compute_cutoffs(workload.cdf, 2, 10220)[0]
+        for cutoff in CUTOFFS[current_scale().name]}
+    return campaign.experiment_grid("fig18", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    balanced = compute_cutoffs(get_workload("W3").cdf, 2, 10220)[0]
     return results, balanced
 
 
@@ -50,9 +52,13 @@ def render(results, balanced) -> str:
     return text
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results, balanced = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig18_cutoff", render(results, balanced))]
+
+
 def test_fig18_cutoff(benchmark):
-    results, balanced = run_once(benchmark,
-                                 lambda: cached("fig18", run_campaign))
+    results, balanced = run_once(benchmark, run_campaign)
     save_result("fig18_cutoff", render(results, balanced))
     # The balancing policy must land in the paper's sweet-spot region.
     assert 1000 <= balanced <= 4000

@@ -6,29 +6,31 @@ that can be sustained ... This workload could not run at 80% network
 load with fewer than 4 scheduled priorities."
 """
 
-import pytest
-
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale, scaled_kwargs
 from repro.experiments.tables import series_table
 from repro.homa.config import HomaConfig
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 DEGREES = {"tiny": (2, 7), "quick": (2, 4, 7), "paper": (2, 4, 7)}
 
 
-def run_campaign():
-    results = {}
-    for n_sched in DEGREES[current_scale().name]:
-        cfg = ExperimentConfig(
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {
+        n_sched: ExperimentConfig(
             protocol="homa", workload="W4", load=0.8,
             homa=HomaConfig(n_sched_override=n_sched,
                             n_unsched_override=1),
             **scaled_kwargs("W4"))
-        results[n_sched] = run_experiment(cfg)
-    return results
+        for n_sched in DEGREES[current_scale().name]}
+    return campaign.experiment_grid("fig19", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    return campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
 
 
 def render(results) -> str:
@@ -47,8 +49,13 @@ def render(results) -> str:
     return text
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig19_sched_prios", render(results))]
+
+
 def test_fig19_sched_prios(benchmark):
-    results = run_once(benchmark, lambda: cached("fig19", run_campaign))
+    results = run_once(benchmark, run_campaign)
     save_result("fig19_sched_prios", render(results))
     degrees = sorted(results)
     # Shape: more scheduled levels -> at least as good throughput.

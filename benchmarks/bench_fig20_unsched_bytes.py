@@ -6,30 +6,32 @@ RTTbytes results in worse performance for messages smaller than
 RTTbytes."
 """
 
-import pytest
-
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments import campaign
+from repro.experiments.runner import ExperimentConfig
 from repro.experiments.scale import current_scale, scaled_kwargs
 from repro.experiments.tables import series_table
 from repro.homa.config import HomaConfig
 from repro.workloads.catalog import get_workload
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 #: the paper sweeps 1, 500, 1000, RTTbytes, 2xRTTbytes
 LIMITS = {"tiny": (500, 9680), "quick": (1, 500, 1000, 9680, 19360),
           "paper": (1, 500, 1000, 9680, 19360)}
 
 
-def run_campaign():
-    results = {}
-    for limit in LIMITS[current_scale().name]:
-        cfg = ExperimentConfig(
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {
+        limit: ExperimentConfig(
             protocol="homa", workload="W4", load=0.8,
             homa=HomaConfig(unsched_limit=limit),
             **scaled_kwargs("W4"))
-        results[limit] = run_experiment(cfg)
-    return results
+        for limit in LIMITS[current_scale().name]}
+    return campaign.experiment_grid("fig20", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    return campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
 
 
 def render(results) -> str:
@@ -47,8 +49,13 @@ def render(results) -> str:
     return text
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig20_unsched_bytes", render(results))]
+
+
 def test_fig20_unsched_bytes(benchmark):
-    results = run_once(benchmark, lambda: cached("fig20", run_campaign))
+    results = run_once(benchmark, run_campaign)
     save_result("fig20_unsched_bytes", render(results))
     limits = sorted(results)
     # Shape: small-message latency with a tiny unscheduled limit is

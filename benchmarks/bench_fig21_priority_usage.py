@@ -8,29 +8,29 @@ network load reaches 90%, receivers typically have at least four
 partially-received messages, so they use all of the scheduled levels."
 """
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import FIG21_NOTE
-from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scale import campaign_kwargs, current_scale
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 LOADS = {"tiny": (0.5, 0.8), "quick": (0.5, 0.8, 0.9),
          "paper": (0.5, 0.8, 0.9)}
 
 
-def run_campaign():
-    kwargs = scaled_kwargs("W3")
+def campaign_spec() -> campaign.CampaignSpec:
     # Bandwidth fractions need continuous generation (no message cap).
-    kwargs["max_messages"] = None
-    kwargs["duration_ms"] = min(kwargs["duration_ms"], 3.0)
-    results = {}
-    for load in LOADS[current_scale().name]:
-        cfg = ExperimentConfig(protocol="homa", workload="W3", load=load,
+    kwargs = campaign_kwargs("W3", uncapped=True, duration_cap_ms=3.0)
+    cfgs = {
+        load: ExperimentConfig(protocol="homa", workload="W3", load=load,
                                collect=("priousage",), **kwargs)
-        results[load] = run_experiment(cfg)
-    return results
+        for load in LOADS[current_scale().name]}
+    return campaign.experiment_grid("fig21", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    return campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
 
 
 def render(results) -> str:
@@ -49,8 +49,13 @@ def render(results) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    results = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("fig21_priority_usage", render(results))]
+
+
 def test_fig21_priority_usage(benchmark):
-    results = run_once(benchmark, lambda: cached("fig21", run_campaign))
+    results = run_once(benchmark, run_campaign)
     save_result("fig21_priority_usage", render(results))
     loads = sorted(results)
     low = results[loads[0]].prio_fractions

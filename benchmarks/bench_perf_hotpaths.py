@@ -194,6 +194,14 @@ def main(argv=None) -> int:
             "p50": cur_best["p50"],
             "p99": cur_best["p99"],
         }
+        # Carry over the PR-over-PR trajectory notes (campaign wall
+        # times etc.) that other tooling appends to this artifact.
+        try:
+            previous = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if "trajectory_notes" in previous:
+            payload["trajectory_notes"] = previous["trajectory_notes"]
         RESULT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
         print(json.dumps(payload, indent=1))
         print(f"speedup vs seed (interleaved): {speedup:.2f}x "

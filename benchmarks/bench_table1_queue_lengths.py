@@ -1,32 +1,34 @@
 """Table 1: average and maximum switch queue lengths at 80% load."""
 
-import pytest
-
+from repro.experiments import campaign
 from repro.experiments.paper_data import TABLE1
-from repro.experiments.runner import ExperimentConfig, run_experiment
-from repro.experiments.scale import current_scale, scaled_kwargs
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.scale import campaign_kwargs, current_scale
 
-from _shared import cached, run_once, save_result
+from _shared import run_once, save_result
 
 WORKLOADS = {"tiny": ("W3",), "quick": ("W1", "W2", "W3", "W4", "W5"),
              "paper": ("W1", "W2", "W3", "W4", "W5")}
 
 
-def run_campaign():
-    rows = {}
+def campaign_spec() -> campaign.CampaignSpec:
+    cfgs = {}
     for workload in WORKLOADS[current_scale().name]:
-        kwargs = scaled_kwargs(workload)
         # Time-averaged queue lengths need continuous generation: a
         # message cap would leave the tail of the window idle.
-        kwargs["max_messages"] = None
-        kwargs["duration_ms"] = min(kwargs["duration_ms"],
-                                    12.0 if workload == "W4" else
-                                    30.0 if workload == "W5" else 2.5)
-        cfg = ExperimentConfig(protocol="homa", workload=workload, load=0.8,
-                               collect=("queues",),
-                               **kwargs)
-        rows[workload] = run_experiment(cfg).queue_rows
-    return rows
+        cap_ms = {"W4": 12.0, "W5": 30.0}.get(workload, 2.5)
+        kwargs = campaign_kwargs(workload, uncapped=True,
+                                 duration_cap_ms=cap_ms)
+        cfgs[workload] = ExperimentConfig(
+            protocol="homa", workload=workload, load=0.8,
+            collect=("queues",), **kwargs)
+    return campaign.experiment_grid("table1", cfgs)
+
+
+def run_campaign(jobs=None, fresh=False):
+    results = campaign.run(campaign_spec(), jobs=jobs, fresh=fresh)
+    return {workload: result.queue_rows
+            for workload, result in results.items()}
 
 
 def render(rows) -> str:
@@ -47,8 +49,13 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
+def run_figure(jobs=None, fresh=False) -> list[str]:
+    rows = run_campaign(jobs=jobs, fresh=fresh)
+    return [save_result("table1_queue_lengths", render(rows))]
+
+
 def test_table1_queue_lengths(benchmark):
-    rows = run_once(benchmark, lambda: cached("table1", run_campaign))
+    rows = run_once(benchmark, run_campaign)
     save_result("table1_queue_lengths", render(rows))
     for workload, levels in rows.items():
         by_label = {s.label: s for s in levels}

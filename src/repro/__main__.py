@@ -3,6 +3,8 @@
 Commands:
 
 * ``run``       — one simulation (protocol x workload x load), slowdown table
+* ``campaign``  — regenerate a paper figure's whole simulation grid,
+  sharded over a process pool, with on-disk result caching
 * ``workloads`` — list the built-in workloads
 * ``alloc``     — show Homa's priority allocation for a workload
 """
@@ -10,8 +12,11 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
+from pathlib import Path
 
+from repro.experiments.paper_data import CAMPAIGNS
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.experiments.tables import kv_table, series_table
 from repro.homa.priorities import allocate_priorities
@@ -50,6 +55,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("events simulated", f"{result.events:,}"),
         ("wall time", f"{result.wall_seconds:.1f}s"),
     ]))
+    return 0
+
+
+def _bench_dir() -> Path:
+    """The benchmarks/ directory of the repository checkout."""
+    return Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    bench_dir = _bench_dir()
+    if not bench_dir.is_dir():
+        print(f"error: {bench_dir} not found — the campaign command "
+              "needs a repository checkout", file=sys.stderr)
+        return 1
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    targets = sorted(CAMPAIGNS) if args.figure == "all" else [args.figure]
+    # Figure pairs (8/9, 12/13) share one module; run each module once.
+    modules = dict.fromkeys(CAMPAIGNS[name][0] for name in targets)
+    paths = []
+    for module_name in modules:
+        module = importlib.import_module(module_name)
+        paths.extend(module.run_figure(jobs=args.jobs, fresh=args.fresh))
+    print("artifacts:")
+    for path in paths:
+        print(f"  {path}")
     return 0
 
 
@@ -98,6 +129,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rpc", action="store_true",
                      help="echo-RPC mode instead of one-way messages")
     run.set_defaults(fn=_cmd_run)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="regenerate a paper figure's simulation grid "
+             "(sharded + cached)",
+        description="Figure ids: " + ", ".join(
+            f"{name} ({desc})" for name, (_, desc) in sorted(
+                CAMPAIGNS.items())))
+    campaign.add_argument("figure",
+                          choices=sorted(CAMPAIGNS) + ["all"],
+                          help="figure/table id, or 'all'")
+    campaign.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS "
+                               "env var, else 1 = serial)")
+    campaign.add_argument("--fresh", action="store_true",
+                          help="ignore cached results (recompute and "
+                               "repopulate the cache)")
+    campaign.set_defaults(fn=_cmd_campaign)
 
     workloads = sub.add_parser("workloads", help="list built-in workloads")
     workloads.set_defaults(fn=_cmd_workloads)

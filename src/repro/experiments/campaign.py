@@ -1,0 +1,383 @@
+"""Declarative experiment campaigns: a grid of cells, a shard
+scheduler, and an on-disk result cache.
+
+The paper's evaluation is a grid of *independent* simulations over
+(protocol x workload x load).  A :class:`CampaignSpec` names that grid
+once; :func:`run` executes it — fanning cells out over a
+``ProcessPoolExecutor`` when ``jobs > 1`` (worker count from the
+``--jobs`` CLI flag or the ``REPRO_JOBS`` environment variable, serial
+fallback at ``jobs=1``) — and memoizes each cell's result on disk under
+``benchmarks/results/cache/``.
+
+Three properties the benchmarks rely on:
+
+* **Determinism** — a cell is one seeded simulation; serial and sharded
+  runs produce byte-identical slowdown digests because every result
+  (computed in-process, in a worker, or loaded from cache) makes the
+  same JSON payload round-trip (`ExperimentResult.to_payload`).
+* **Cache stability** — the cache key is a stable hash of the cell's
+  canonicalized spec plus a fingerprint of the simulator source
+  (every ``src/repro/**/*.py``, and the task's own module when it lives
+  outside the package).  Re-running a figure after an unrelated edit
+  (docs, tests, other benchmarks) is a cache hit; touching simulator
+  code invalidates everything, which is the conservative direction.
+* **Attribution** — a failing cell surfaces its campaign, key, and
+  full config in the raised :class:`CampaignCellError`, so a sweep that
+  dies mid-campaign names the exact simulation to reproduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from importlib import import_module
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+#: default cache location (repo checkout layout); override with
+#: ``REPRO_CACHE_DIR`` or the ``cache_dir`` argument.
+DEFAULT_CACHE_DIR = (Path(__file__).resolve().parents[3]
+                     / "benchmarks" / "results" / "cache")
+
+#: the standard cell task: run one ``ExperimentConfig`` to a payload
+EXPERIMENT_TASK = "repro.experiments.campaign:experiment_task"
+EXPERIMENT_DECODE = "repro.experiments.campaign:experiment_decode"
+IDENTITY_DECODE = "repro.experiments.campaign:identity_decode"
+
+_CACHE_VERSION = 1
+
+
+# -- cell tasks ----------------------------------------------------------
+
+def experiment_task(cfg: ExperimentConfig) -> dict:
+    """Run one simulation; return its transportable payload."""
+    return run_experiment(cfg).to_payload()
+
+
+def experiment_decode(payload: dict) -> ExperimentResult:
+    return ExperimentResult.from_payload(payload)
+
+
+def identity_decode(payload: Any) -> Any:
+    """For custom tasks whose payload is already the final value."""
+    return payload
+
+
+def _resolve(path: str):
+    """Import ``module:attr``; the worker-side task lookup."""
+    module, _, attr = path.partition(":")
+    if not module or not attr:
+        raise ValueError(f"task path must be 'module:function', got {path!r}")
+    return getattr(import_module(module), attr)
+
+
+# -- the spec ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of work in a campaign.
+
+    ``spec`` must be canonicalizable (dataclasses / dicts / sequences /
+    scalars) and picklable; ``task`` and ``decode`` are ``module:attr``
+    paths so worker processes can resolve them without sharing state
+    with the parent.
+    """
+
+    key: Hashable
+    spec: Any
+    task: str = EXPERIMENT_TASK
+    decode: str = EXPERIMENT_DECODE
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named grid of cells (the declarative form of one figure)."""
+
+    name: str
+    cells: tuple[Cell, ...]
+
+    def __post_init__(self):
+        keys = [cell.key for cell in self.cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({repr(k) for k in keys if keys.count(k) > 1})
+            raise ValueError(
+                f"campaign {self.name!r} has duplicate cell keys: {dupes}")
+
+
+def experiment_grid(name: str,
+                    cfgs: Mapping[Hashable, ExperimentConfig]) -> CampaignSpec:
+    """The common case: every cell is one ``ExperimentConfig``."""
+    return CampaignSpec(name=name, cells=tuple(
+        Cell(key=key, spec=cfg) for key, cfg in cfgs.items()))
+
+
+# -- stable hashing ------------------------------------------------------
+
+def canonical(obj: Any) -> Any:
+    """Reduce a spec to a JSON-stable structure (dataclass-aware,
+    sorted dict keys, tuples as lists)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": type(obj).__name__,
+                **{f.name: canonical(getattr(obj, f.name))
+                   for f in dataclasses.fields(obj)}}
+    if isinstance(obj, dict):
+        result = {str(k): canonical(v)
+                  for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        if len(result) != len(obj):
+            # str() collapsed distinct keys (e.g. 1 vs "1"): two
+            # different specs must never share one cache key.
+            raise TypeError(f"dict keys collide under str() in campaign "
+                            f"spec: {sorted(map(str, obj))}")
+        return result
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a "
+                    f"campaign cell spec: {obj!r}")
+
+
+def spec_json(spec: Any) -> str:
+    return json.dumps(canonical(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+_fingerprints: dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Content hash of every ``.py`` file in the ``repro`` package.
+
+    Any simulator edit invalidates the whole cache; edits outside
+    ``src/repro`` (docs, tests, benchmark rendering) do not.
+    """
+    cached = _fingerprints.get("")
+    if cached is not None:
+        return cached
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _fingerprints[""] = digest.hexdigest()
+    return _fingerprints[""]
+
+
+def _task_fingerprint(task: str) -> str:
+    """Code fingerprint for one task path: the package hash, extended
+    with the task's defining module when it lives outside ``repro``
+    (e.g. a benchmark-defined task like the incast cell)."""
+    cached = _fingerprints.get(task)
+    if cached is not None:
+        return cached
+    module_name = task.partition(":")[0]
+    fingerprint = code_fingerprint()
+    if module_name != "repro" and not module_name.startswith("repro."):
+        digest = hashlib.sha256(fingerprint.encode())
+        source = getattr(import_module(module_name), "__file__", None)
+        if source:
+            digest.update(Path(source).read_bytes())
+        fingerprint = digest.hexdigest()
+    _fingerprints[task] = fingerprint
+    return fingerprint
+
+
+def cell_hash(cell: Cell) -> str:
+    digest = hashlib.sha256()
+    digest.update(cell.task.encode())
+    digest.update(b"\0")
+    digest.update(spec_json(cell.spec).encode())
+    digest.update(b"\0")
+    digest.update(_task_fingerprint(cell.task).encode())
+    return digest.hexdigest()[:32]
+
+
+# -- the on-disk cache ---------------------------------------------------
+
+class ResultCache:
+    """JSON payloads keyed by ``cell_hash`` under one directory."""
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None) -> None:
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.dir = Path(cache_dir)
+
+    def _sanitize(self, name: str) -> str:
+        return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+    def path_for(self, campaign: str, cell: Cell) -> Path:
+        return (self.dir
+                / f"{self._sanitize(campaign)}-{cell_hash(cell)}.json")
+
+    def load(self, path: Path) -> Any | None:
+        """The payload, or None on miss (or an unreadable/stale file)."""
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != _CACHE_VERSION:
+            return None
+        return entry.get("payload")
+
+    def store(self, path: Path, campaign: str, cell: Cell,
+              payload: Any) -> None:
+        entry = {
+            "version": _CACHE_VERSION,
+            "campaign": campaign,
+            "key": repr(cell.key),
+            "task": cell.task,
+            "spec": canonical(cell.spec),
+            "payload": payload,
+        }
+        self.dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(entry, separators=(",", ":")) + "\n")
+        os.replace(tmp, path)  # atomic: concurrent campaigns never
+        #                        observe a half-written entry
+
+
+# -- execution -----------------------------------------------------------
+
+class CampaignCellError(RuntimeError):
+    """A cell failed; the message names the exact simulation."""
+
+    def __init__(self, campaign: str, cell: Cell, cause: BaseException):
+        self.campaign = campaign
+        self.cell = cell
+        super().__init__(
+            f"campaign {campaign!r} cell {cell.key!r} failed with "
+            f"{type(cause).__name__}: {cause}\n"
+            f"  task: {cell.task}\n"
+            f"  config: {spec_json(cell.spec)}")
+
+
+class CampaignResults(dict):
+    """``{cell key: decoded result}`` in spec order, plus run stats."""
+
+    name: str = ""
+    jobs: int = 1
+    computed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """``jobs`` argument, else ``REPRO_JOBS``, else serial."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _run_cell(task: str, spec: Any) -> Any:
+    """Worker entry point: resolve and run one cell's task."""
+    return _resolve(task)(spec)
+
+
+def _init_worker(parent_sys_path: list[str]) -> None:
+    """Make benchmark-defined tasks importable under any multiprocessing
+    start method (fork inherits sys.path; spawn/forkserver do not)."""
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def run(spec: CampaignSpec, *, jobs: int | None = None, fresh: bool = False,
+        cache_dir: str | os.PathLike | None = None,
+        quiet: bool = False) -> CampaignResults:
+    """Execute a campaign; returns decoded results in cell order.
+
+    ``fresh=True`` bypasses cache lookups (results are still stored, so
+    a fresh run repopulates the cache).
+    """
+    jobs = resolve_jobs(jobs)
+    cache = ResultCache(cache_dir)
+    start = time.monotonic()
+
+    payloads: dict[Hashable, Any] = {}
+    pending: list[tuple[Cell, Path]] = []
+    for cell in spec.cells:
+        path = cache.path_for(spec.name, cell)
+        payload = None if fresh else cache.load(path)
+        if payload is None:
+            pending.append((cell, path))
+        else:
+            payloads[cell.key] = payload
+
+    if pending and jobs == 1:
+        for cell, path in pending:
+            try:
+                payload = _run_cell(cell.task, cell.spec)
+            except Exception as exc:
+                raise CampaignCellError(spec.name, cell, exc) from exc
+            cache.store(path, spec.name, cell, payload)
+            payloads[cell.key] = payload
+    elif pending:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(list(sys.path),)) as pool:
+            futures = {pool.submit(_run_cell, cell.task, cell.spec):
+                       (cell, path) for cell, path in pending}
+            wait(futures, return_when=FIRST_EXCEPTION)
+            # Cache every completed sibling before surfacing a failure,
+            # so a crashed cell never discards finished simulations and
+            # the retry costs one cell, exactly like the serial path.
+            failed: tuple[Cell, BaseException] | None = None
+            for future, (cell, path) in futures.items():
+                if not future.done() or future.cancelled():
+                    continue
+                exc = future.exception()
+                if exc is not None:
+                    failed = failed or (cell, exc)
+                    continue
+                payload = future.result()
+                cache.store(path, spec.name, cell, payload)
+                payloads[cell.key] = payload
+            if failed is not None:
+                pool.shutdown(cancel_futures=True)
+                cell, exc = failed
+                raise CampaignCellError(spec.name, cell, exc) from exc
+
+    results = CampaignResults(
+        (cell.key, _resolve(cell.decode)(payloads[cell.key]))
+        for cell in spec.cells)
+    results.name = spec.name
+    results.jobs = jobs
+    results.computed = len(pending)
+    results.cached = len(spec.cells) - len(pending)
+    results.wall_seconds = time.monotonic() - start
+    if not quiet:
+        print(f"[campaign {spec.name}] {len(spec.cells)} cells: "
+              f"{results.computed} computed, {results.cached} cached "
+              f"(jobs={jobs}, {results.wall_seconds:.1f}s)",
+              file=sys.stderr)
+    return results
+
+
+def slowdown_digest(results: Mapping[Hashable, ExperimentResult]) -> str:
+    """A byte-stable digest of every cell's slowdown percentiles, for
+    asserting that serial and sharded campaigns agree exactly."""
+    lines = []
+    for key in sorted(results, key=repr):
+        result = results[key]
+        p50 = ",".join(repr(v) for v in result.slowdown_series(50))
+        p99 = ",".join(repr(v) for v in result.slowdown_series(99))
+        lines.append(f"{key!r} p50=[{p50}] p99=[{p99}]")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()

@@ -8,13 +8,28 @@ protocol's capacity, queues grow without bound)."
 A run is *stable* when nearly everything submitted finishes within the
 drain window.  We sweep an ascending load grid and report the last
 stable point, plus the application-goodput share there.
+
+The sweep comes in two shapes sharing one collation:
+
+* :func:`find_max_load` — serial, with the classic early break at the
+  first unstable probe (open-loop: higher loads stay unstable);
+* a **speculative shard** — :func:`probe_config` builds every grid
+  point as an independent campaign cell, all probed in parallel, and
+  :func:`collate_max_load` applies the same last-stable semantics to
+  the collected results (probes past the first unstable point are
+  discarded, so the output is identical to the serial sweep).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
 
-from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
 
 #: fraction of submitted messages that must complete for stability
 STABLE_FINISH_RATE = 0.90
@@ -33,10 +48,16 @@ class MaxLoadResult:
     probes: list[tuple[float, float]]  # (load, backlog growth) per probe
 
 
-def is_stable(cfg: ExperimentConfig) -> tuple[bool, object]:
+def probe_config(base: ExperimentConfig, load: float) -> ExperimentConfig:
+    """One grid point of the sweep (utilization must be collected)."""
+    return replace(base, load=load, collect=("throughput",))
+
+
+def probe_stable(result: ExperimentResult) -> bool:
+    """The stability predicate over one completed probe."""
     from repro.workloads.catalog import get_workload
 
-    result = run_experiment(cfg)
+    cfg = result.cfg
     # Slack: pipe-content wobble — a few RTTs plus a couple of mean
     # messages per host do not count as backlog growth.
     n_hosts = cfg.racks * cfg.hosts_per_rack
@@ -45,7 +66,46 @@ def is_stable(cfg: ExperimentConfig) -> tuple[bool, object]:
     grown = (result.backlog_end_bytes
              > STABLE_BACKLOG_GROWTH * result.backlog_mid_bytes + slack)
     finished = result.finish_rate >= STABLE_FINISH_RATE
-    return (finished and not grown, result)
+    return finished and not grown
+
+
+def collate_max_load(
+    grid: Sequence[float],
+    results: Sequence[ExperimentResult],
+) -> MaxLoadResult:
+    """Last-stable semantics over ascending probes.
+
+    ``results[i]`` is the completed probe at ``grid[i]`` (``results``
+    may be shorter when the producer stopped early).  Probes past the
+    first unstable load are ignored, so a speculative parallel sweep
+    collates to exactly what the serial early-break sweep reports.
+    When no grid point is stable, the first probe's already-computed
+    result supplies the utilization figures (no re-simulation).
+    """
+    if not results:
+        raise ValueError("collate_max_load needs at least one probe result")
+    best_load = 0.0
+    best_result = None
+    probes = []
+    for load, result in zip(grid, results):
+        probes.append((load, result.backlog_growth()))
+        if probe_stable(result):
+            best_load = load
+            best_result = result
+        else:
+            break  # open-loop: loads above an unstable point stay unstable
+    if best_result is None:
+        best_result = results[0]
+        best_load = 0.0
+    base_cfg = results[0].cfg
+    return MaxLoadResult(
+        protocol=base_cfg.protocol,
+        workload=base_cfg.workload,
+        max_load=best_load,
+        total_utilization=best_result.total_utilization,
+        app_utilization=best_result.app_utilization,
+        probes=probes,
+    )
 
 
 def find_max_load(
@@ -53,28 +113,11 @@ def find_max_load(
     *,
     grid: tuple[float, ...] = (0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95),
 ) -> MaxLoadResult:
-    """Ascending sweep; returns the last stable grid point."""
-    best_load = 0.0
-    best_result = None
-    probes = []
+    """Serial ascending sweep; returns the last stable grid point."""
+    results: list[ExperimentResult] = []
     for load in grid:
-        cfg = replace(base, load=load, collect=("throughput",))
-        stable, result = is_stable(cfg)
-        probes.append((load, result.backlog_growth()))
-        if stable:
-            best_load = load
-            best_result = result
-        else:
-            break  # open-loop: loads above an unstable point stay unstable
-    if best_result is None:
-        cfg = replace(base, load=grid[0], collect=("throughput",))
-        _, best_result = is_stable(cfg)
-        best_load = 0.0
-    return MaxLoadResult(
-        protocol=base.protocol,
-        workload=base.workload,
-        max_load=best_load,
-        total_utilization=best_result.total_utilization,
-        app_utilization=best_result.app_utilization,
-        probes=probes,
-    )
+        result = run_experiment(probe_config(base, load))
+        results.append(result)
+        if not probe_stable(result):
+            break
+    return collate_max_load(grid, results)

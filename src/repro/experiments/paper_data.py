@@ -85,3 +85,44 @@ FIG20_PENALTY = 2.5
 # rides the lowest level; at high load all scheduled levels are used.
 FIG21_NOTE = ("P0-P3 scheduled / P4-P7 unscheduled; unscheduled levels "
               "carry equal bytes; scheduled usage spreads with load")
+
+# The campaign index: every reproduced figure/table, the benchmark
+# module that declares its CampaignSpec, and a one-line description.
+# ``python -m repro campaign <id|all>`` resolves targets here; figure
+# pairs that share one campaign (8/9, 12/13) map to the same module.
+CAMPAIGNS = {
+    "fig01": ("bench_fig01_workloads",
+              "workload CDF reconstruction (no simulation)"),
+    "fig04": ("bench_fig04_unsched_alloc",
+              "unscheduled priority allocation (no simulation)"),
+    "fig08": ("bench_fig08_fig09_implementation",
+              "implementation proxy, 99th-percentile echo-RPC slowdown"),
+    "fig09": ("bench_fig08_fig09_implementation",
+              "implementation proxy, median (shares fig08's runs)"),
+    "fig10": ("bench_fig10_incast",
+              "incast throughput with/without incast control"),
+    "fig12": ("bench_fig12_fig13_slowdown",
+              "slowdown vs message size, 99th percentile"),
+    "fig13": ("bench_fig12_fig13_slowdown",
+              "slowdown vs message size, median (shares fig12's runs)"),
+    "fig14": ("bench_fig14_delay_sources",
+              "tail delay decomposition for short messages"),
+    "fig15": ("bench_fig15_max_load",
+              "maximum sustainable load per protocol (speculative sweep)"),
+    "fig16": ("bench_fig16_wasted_bandwidth",
+              "wasted receiver bandwidth vs overcommitment degree"),
+    "fig17": ("bench_fig17_unsched_prios",
+              "unscheduled priority level count, W1"),
+    "fig18": ("bench_fig18_cutoff",
+              "unscheduled cutoff placement, W3"),
+    "fig19": ("bench_fig19_sched_prios",
+              "scheduled priority level count, W4"),
+    "fig20": ("bench_fig20_unsched_bytes",
+              "unscheduled byte limit, W4"),
+    "fig21": ("bench_fig21_priority_usage",
+              "priority level usage vs load, W3"),
+    "table1": ("bench_table1_queue_lengths",
+               "switch egress queue lengths at 80% load"),
+    "ablations": ("bench_ablations",
+                  "link preemption / grant-oldest / online priorities"),
+}

@@ -10,7 +10,7 @@ same link speeds, delays, and protocol parameters.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.apps.echo import attach_echo_workload
@@ -62,6 +62,23 @@ class ExperimentConfig:
         """The full Figure 11 topology (slow in Python; used selectively)."""
         return replace(self, racks=9, hosts_per_rack=16, aggrs=4)
 
+    def to_payload(self) -> dict:
+        """JSON-safe form (tuples become lists; see from_payload)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentConfig":
+        data = dict(payload)
+        homa = data.pop("homa", None)
+        if homa is not None:
+            homa = dict(homa)
+            if homa.get("cutoff_override") is not None:
+                homa["cutoff_override"] = tuple(homa["cutoff_override"])
+            homa = HomaConfig(**homa)
+        data["collect"] = tuple(data.get("collect") or ())
+        data["net_overrides"] = dict(data.get("net_overrides") or {})
+        return cls(homa=homa, **data)
+
 
 @dataclass
 class ExperimentResult:
@@ -105,6 +122,56 @@ class ExperimentResult:
 
     def slowdown_series(self, percentile: float) -> list[float]:
         return self.tracker.series(self.bucket_edges(), percentile)
+
+    def to_payload(self) -> dict:
+        """Compact JSON-safe form: everything figures read from a run,
+        without live simulator objects, so results can cross process
+        boundaries and persist in the on-disk campaign cache.  Floats
+        round-trip exactly (json uses repr), so slowdown digests of a
+        rehydrated result are byte-identical to the original."""
+        return {
+            "cfg": self.cfg.to_payload(),
+            "tracker": self.tracker.to_payload(),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "pending": self.pending,
+            "sim_time_ms": self.sim_time_ms,
+            "events": self.events,
+            "wall_seconds": self.wall_seconds,
+            "queue_rows": [[row.label, row.mean_kb, row.max_kb]
+                           for row in self.queue_rows],
+            "prio_fractions": list(self.prio_fractions),
+            "wasted_fraction": self.wasted_fraction,
+            "total_utilization": self.total_utilization,
+            "app_utilization": self.app_utilization,
+            "delay_breakdown": list(self.delay_breakdown),
+            "aborted": self.aborted,
+            "backlog_mid_bytes": self.backlog_mid_bytes,
+            "backlog_end_bytes": self.backlog_end_bytes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            cfg=ExperimentConfig.from_payload(payload["cfg"]),
+            tracker=SlowdownTracker.from_payload(payload["tracker"]),
+            submitted=payload["submitted"],
+            completed=payload["completed"],
+            pending=payload["pending"],
+            sim_time_ms=payload["sim_time_ms"],
+            events=payload["events"],
+            wall_seconds=payload["wall_seconds"],
+            queue_rows=[QueueLevelStats(label=label, mean_kb=mean, max_kb=mx)
+                        for label, mean, mx in payload["queue_rows"]],
+            prio_fractions=list(payload["prio_fractions"]),
+            wasted_fraction=payload["wasted_fraction"],
+            total_utilization=payload["total_utilization"],
+            app_utilization=payload["app_utilization"],
+            delay_breakdown=tuple(payload["delay_breakdown"]),
+            aborted=payload["aborted"],
+            backlog_mid_bytes=payload["backlog_mid_bytes"],
+            backlog_end_bytes=payload["backlog_end_bytes"],
+        )
 
 
 def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:

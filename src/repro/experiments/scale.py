@@ -75,6 +75,25 @@ def scaled_kwargs(workload: str, scale: Scale | None = None) -> dict:
     }
 
 
+def campaign_kwargs(
+    workload: str,
+    *,
+    uncapped: bool = False,
+    duration_cap_ms: float | None = None,
+    scale: Scale | None = None,
+) -> dict:
+    """``scaled_kwargs`` plus the adjustments rate-style campaigns keep
+    re-deriving: drop the message cap (stability and bandwidth-fraction
+    measurements need continuous open-loop generation) and clamp the
+    generation window to bound a grid cell's wall time."""
+    kwargs = scaled_kwargs(workload, scale)
+    if uncapped:
+        kwargs["max_messages"] = None
+    if duration_cap_ms is not None:
+        kwargs["duration_ms"] = min(kwargs["duration_ms"], duration_cap_ms)
+    return kwargs
+
+
 def effective_load(protocol: str, requested: float) -> float:
     """The paper runs each protocol at the highest load it sustains:
     "Neither NDP or pHost can support 80% network load for these

@@ -34,13 +34,33 @@ class BucketStats:
 
 
 class SlowdownTracker:
-    """Records per-message slowdowns and produces bucketed reports."""
+    """Records per-message slowdowns and produces bucketed reports.
 
-    def __init__(self, net: Network, *, warmup_ps: int = 0) -> None:
+    A tracker rehydrated from :meth:`from_payload` has ``net=None``:
+    it can report (``series``/``overall``/``bucket_report``) but not
+    record, which is exactly what campaign workers ship back to the
+    parent process.
+    """
+
+    def __init__(self, net: Network | None = None, *,
+                 warmup_ps: int = 0) -> None:
         self.net = net
         self.warmup_ps = warmup_ps
         self.sizes: list[int] = []
         self.slowdowns: list[float] = []
+
+    def to_payload(self) -> dict:
+        """Compact JSON-safe form (floats survive exactly via repr)."""
+        return {"warmup_ps": self.warmup_ps,
+                "sizes": self.sizes,
+                "slowdowns": self.slowdowns}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SlowdownTracker":
+        tracker = cls(None, warmup_ps=payload["warmup_ps"])
+        tracker.sizes = [int(s) for s in payload["sizes"]]
+        tracker.slowdowns = [float(s) for s in payload["slowdowns"]]
+        return tracker
 
     def record_oneway(self, src: int, dst: int, size: int,
                       created_ps: int, completed_ps: int) -> None:

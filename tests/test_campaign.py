@@ -1,0 +1,256 @@
+"""Tests for the campaign subsystem: payload round-trips, the shard
+scheduler's determinism, the on-disk cache, and max-load collation."""
+
+import json
+
+import pytest
+
+from repro.experiments import campaign
+from repro.experiments.maxload import (
+    MaxLoadResult,
+    collate_max_load,
+    find_max_load,
+    probe_config,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.homa.config import HomaConfig
+from repro.metrics.slowdown import SlowdownTracker
+
+
+def small_cfg(**kw):
+    """A sub-second single-rack run."""
+    base = dict(protocol="homa", workload="W1", load=0.5,
+                racks=1, hosts_per_rack=4, aggrs=0,
+                duration_ms=1.0, warmup_ms=0.0, drain_ms=4.0,
+                max_messages=120)
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+def small_grid():
+    """The 2-protocol x 2-load determinism grid."""
+    return {
+        (protocol, load): small_cfg(protocol=protocol, load=load)
+        for protocol in ("homa", "pfabric")
+        for load in (0.3, 0.5)
+    }
+
+
+# -- payload round-trips -------------------------------------------------
+
+
+def test_config_payload_round_trip():
+    cfg = small_cfg(
+        homa=HomaConfig(n_unsched_override=2, cutoff_override=(100, 16129)),
+        collect=("queues", "throughput"),
+        net_overrides={"preemptive_links": True})
+    back = ExperimentConfig.from_payload(
+        json.loads(json.dumps(cfg.to_payload())))
+    assert back == cfg
+    assert isinstance(back.collect, tuple)
+    assert isinstance(back.homa.cutoff_override, tuple)
+
+
+def test_result_payload_round_trip_is_exact():
+    result = run_experiment(small_cfg(collect=("queues", "throughput")))
+    back = ExperimentResult.from_payload(
+        json.loads(json.dumps(result.to_payload())))
+    # Byte-exact slowdowns: repr round-trips through JSON.
+    assert back.tracker.slowdowns == result.tracker.slowdowns
+    assert ([repr(v) for v in back.slowdown_series(99)]
+            == [repr(v) for v in result.slowdown_series(99)])
+    assert back.cfg == result.cfg
+    assert back.completed == result.completed
+    assert back.finish_rate == result.finish_rate
+    assert [(r.label, r.mean_kb, r.max_kb) for r in back.queue_rows] \
+        == [(r.label, r.mean_kb, r.max_kb) for r in result.queue_rows]
+    assert back.total_utilization == result.total_utilization
+    assert back.delay_breakdown == result.delay_breakdown
+
+
+def test_tracker_from_payload_reports_without_net():
+    tracker = SlowdownTracker(None)
+    tracker.sizes = [10, 20]
+    tracker.slowdowns = [1.5, 2.5]
+    back = SlowdownTracker.from_payload(tracker.to_payload())
+    assert back.overall(50) == 2.0
+    assert back.count == 2
+
+
+# -- stable hashing ------------------------------------------------------
+
+
+def test_cell_hash_stable_and_config_sensitive():
+    cell_a = campaign.Cell(key="a", spec=small_cfg())
+    cell_b = campaign.Cell(key="b", spec=small_cfg())  # key not hashed
+    cell_c = campaign.Cell(key="a", spec=small_cfg(load=0.6))
+    assert campaign.cell_hash(cell_a) == campaign.cell_hash(cell_b)
+    assert campaign.cell_hash(cell_a) != campaign.cell_hash(cell_c)
+
+
+def test_canonical_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        campaign.canonical(object())
+
+
+def test_canonical_rejects_colliding_dict_keys():
+    # 1 and "1" must never share one cache key.
+    with pytest.raises(TypeError, match="collide"):
+        campaign.canonical({1: "a", "1": "b"})
+
+
+def test_duplicate_cell_keys_rejected():
+    cells = (campaign.Cell(key="x", spec=small_cfg()),
+             campaign.Cell(key="x", spec=small_cfg(load=0.6)))
+    with pytest.raises(ValueError, match="duplicate"):
+        campaign.CampaignSpec(name="dup", cells=cells)
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert campaign.resolve_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert campaign.resolve_jobs() == 3
+    assert campaign.resolve_jobs(2) == 2
+    with pytest.raises(ValueError):
+        campaign.resolve_jobs(0)
+
+
+# -- the determinism + cache contract ------------------------------------
+
+
+def test_campaign_sharded_matches_serial_and_caches(tmp_path):
+    """jobs=1 and jobs=4 produce byte-identical slowdown digests, and
+    a re-run is served entirely from the on-disk cache."""
+    spec = campaign.experiment_grid("determinism", small_grid())
+
+    serial = campaign.run(spec, jobs=1, fresh=True,
+                          cache_dir=tmp_path, quiet=True)
+    assert serial.computed == 4 and serial.cached == 0
+
+    sharded = campaign.run(spec, jobs=4, fresh=True,
+                           cache_dir=tmp_path, quiet=True)
+    assert sharded.computed == 4
+    assert (campaign.slowdown_digest(sharded)
+            == campaign.slowdown_digest(serial))
+
+    # Second run: every cell from cache, zero simulations executed.
+    rerun = campaign.run(spec, jobs=4, cache_dir=tmp_path, quiet=True)
+    assert rerun.computed == 0 and rerun.cached == 4
+    assert campaign.slowdown_digest(rerun) == campaign.slowdown_digest(serial)
+
+    # Results arrive in cell order regardless of completion order.
+    assert list(rerun) == list(small_grid())
+
+
+def test_campaign_cache_keyed_by_config(tmp_path):
+    cfg = small_cfg()
+    spec_a = campaign.experiment_grid("keyed", {"cell": cfg})
+    campaign.run(spec_a, jobs=1, cache_dir=tmp_path, quiet=True)
+    # A different config is a miss; the same config (rebuilt) is a hit.
+    spec_b = campaign.experiment_grid("keyed", {"cell": small_cfg(load=0.4)})
+    run_b = campaign.run(spec_b, jobs=1, cache_dir=tmp_path, quiet=True)
+    assert run_b.computed == 1
+    spec_c = campaign.experiment_grid("keyed", {"cell": small_cfg()})
+    run_c = campaign.run(spec_c, jobs=1, cache_dir=tmp_path, quiet=True)
+    assert run_c.computed == 0 and run_c.cached == 1
+
+
+def test_campaign_cell_error_names_the_config(tmp_path):
+    spec = campaign.experiment_grid(
+        "boom", {"bad": small_cfg(mode="bogus")})
+    with pytest.raises(campaign.CampaignCellError) as excinfo:
+        campaign.run(spec, jobs=1, cache_dir=tmp_path, quiet=True)
+    message = str(excinfo.value)
+    assert "boom" in message and "'bad'" in message
+    assert '"mode":"bogus"' in message  # the full config is in the error
+
+
+def test_campaign_pool_failure_keeps_completed_siblings(tmp_path):
+    """A crashed cell must not discard siblings that finished: the
+    retry (minus the bad cell) is served from cache."""
+    good = {"ok1": small_cfg(load=0.3), "ok2": small_cfg(load=0.5)}
+    spec = campaign.experiment_grid(
+        "partial", {**good, "bad": small_cfg(mode="bogus")})
+    with pytest.raises(campaign.CampaignCellError, match="'bad'"):
+        campaign.run(spec, jobs=2, cache_dir=tmp_path, quiet=True)
+    # The bad cell only started after a worker finished a good cell,
+    # so at least that completed sibling must have been cached.  (The
+    # other good cell may still have been in flight when the failure
+    # surfaced — that one is legitimately recomputed.)
+    retry = campaign.run(campaign.experiment_grid("partial", good),
+                         jobs=2, cache_dir=tmp_path, quiet=True)
+    assert retry.cached >= 1
+    assert retry.cached + retry.computed == 2
+
+
+# -- speculative max-load collation --------------------------------------
+
+
+def _probe_result(cfg, *, stable: bool) -> ExperimentResult:
+    """A synthetic completed probe (no simulation)."""
+    tracker = SlowdownTracker(None)
+    return ExperimentResult(
+        cfg=cfg, tracker=tracker,
+        submitted=100, completed=100 if stable else 10,
+        pending=0 if stable else 90,
+        sim_time_ms=1.0, events=1000, wall_seconds=0.1,
+        total_utilization=cfg.load * 0.9,
+        app_utilization=cfg.load * 0.8,
+        backlog_mid_bytes=1000,
+        backlog_end_bytes=1000 if stable else 10_000_000,
+    )
+
+
+def test_collate_max_load_last_stable():
+    base = small_cfg()
+    grid = (0.3, 0.5, 0.7, 0.9)
+    results = [
+        _probe_result(probe_config(base, 0.3), stable=True),
+        _probe_result(probe_config(base, 0.5), stable=True),
+        _probe_result(probe_config(base, 0.7), stable=False),
+        # Speculative probe past the first unstable point: ignored even
+        # if it accidentally looks stable (open-loop semantics).
+        _probe_result(probe_config(base, 0.9), stable=True),
+    ]
+    row = collate_max_load(grid, results)
+    assert row.max_load == 0.5
+    assert row.total_utilization == results[1].total_utilization
+    assert [load for load, _ in row.probes] == [0.3, 0.5, 0.7]
+
+
+def test_collate_max_load_fallback_reuses_first_probe():
+    base = small_cfg()
+    grid = (0.3, 0.5)
+    first = _probe_result(probe_config(base, 0.3), stable=False)
+    row = collate_max_load(grid, [first])
+    assert row.max_load == 0.0
+    # The fallback reports the first probe's already-computed
+    # utilization — no re-simulation happened to produce it.
+    assert row.total_utilization == first.total_utilization
+    assert row.app_utilization == first.app_utilization
+    assert len(row.probes) == 1
+
+
+def test_collate_max_load_requires_probes():
+    with pytest.raises(ValueError):
+        collate_max_load((0.5,), [])
+
+
+def test_find_max_load_equals_speculative_collation():
+    """The serial early-break sweep and the probe-everything collation
+    agree exactly on the same grid."""
+    base = small_cfg(workload="W2", duration_ms=1.5)
+    grid = (0.3, 0.5)
+    serial = find_max_load(base, grid=grid)
+    speculative = collate_max_load(
+        grid, [run_experiment(probe_config(base, load)) for load in grid])
+    assert isinstance(serial, MaxLoadResult)
+    assert serial.max_load == speculative.max_load
+    assert serial.total_utilization == speculative.total_utilization
+    # Serial probes are a prefix of the speculative ones.
+    assert serial.probes == speculative.probes[:len(serial.probes)]

@@ -38,6 +38,26 @@ def test_run_command_small(capsys):
     assert "finish rate" in out
 
 
+def test_campaign_command_no_sim_figure(capsys):
+    # fig01 derives from the workload catalog (zero campaign cells), so
+    # this exercises the full campaign CLI path in milliseconds.
+    assert main(["campaign", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts:" in out
+    assert "fig01_workloads" in out
+
+
+def test_campaign_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "fig99"])
+
+
+def test_campaign_parser_accepts_jobs_and_fresh():
+    args = build_parser().parse_args(
+        ["campaign", "fig12", "--jobs", "4", "--fresh"])
+    assert args.figure == "fig12" and args.jobs == 4 and args.fresh
+
+
 def test_parser_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--protocol", "quic"])
