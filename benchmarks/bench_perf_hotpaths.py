@@ -16,9 +16,19 @@ artifact was produced.  Without the flag, the current tree is measured
 alone and compared against the recorded seed baseline, which is
 approximate across sessions.
 
+Both canonical scenarios pin ``grant_batch_ns=0`` (legacy per-packet
+grants): the digest contract is defined against the seed code, and the
+batched grant pacer intentionally changes grant timing.  The pacer's
+own claim — fewer GRANT control packets at the default batch interval —
+is measured by ``--grant-batching``, which runs the 144-host W4 @ 80%
+scenario in both modes and records the reduction (grant counts are
+deterministic, so one run per mode suffices) under the
+``grant_batching`` key of ``BENCH_hotpaths.json``.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
         [--smoke] [--repeats N] [--against-worktree PATH]
+        [--grant-batching]
 
 ``--smoke`` runs a seconds-long 2-rack variant (no JSON overwrite, no
 speedup claim) so CI catches harness bitrot.
@@ -38,16 +48,32 @@ RESULT_PATH = REPO_ROOT / "BENCH_hotpaths.json"
 SMOKE_RESULT_PATH = (Path(__file__).resolve().parent / "results"
                      / "BENCH_hotpaths_smoke.json")
 
-#: the canonical scenario: full Figure 11 topology, heavy-tailed W4
+#: the canonical scenario: full Figure 11 topology, heavy-tailed W4.
+#: ``homa.grant_batch_ns=0`` pins legacy per-packet grants — the digest
+#: contract is against the seed code (the batched pacer drifts by
+#: design; ``--grant-batching`` measures that mode separately).
 SCENARIO = dict(protocol="homa", workload="W4", load=0.8,
                 racks=9, hosts_per_rack=16, aggrs=4,
                 duration_ms=3.0, warmup_ms=0.5, drain_ms=10.0,
-                seed=42, max_messages=1200)
+                seed=42, max_messages=1200,
+                homa={"grant_batch_ns": 0})
 
 SMOKE_SCENARIO = dict(protocol="homa", workload="W4", load=0.8,
                       racks=2, hosts_per_rack=4, aggrs=2,
                       duration_ms=2.0, warmup_ms=0.5, drain_ms=8.0,
-                      seed=7, max_messages=150)
+                      seed=7, max_messages=150,
+                      homa={"grant_batch_ns": 0})
+
+
+def build_config(scenario: dict):
+    """Scenario dict -> ExperimentConfig (expands the ``homa`` entry)."""
+    from repro.experiments.runner import ExperimentConfig
+    from repro.homa.config import HomaConfig
+    data = dict(scenario)
+    homa = data.pop("homa", None)
+    if homa is not None:
+        homa = HomaConfig(**homa)
+    return ExperimentConfig(homa=homa, **data)
 
 #: seed-commit reference (eb72f9c) for single-tree trajectory runs,
 #: recorded from an interleaved best-of-5 session (see methodology).
@@ -76,16 +102,28 @@ SEED_P99 = [
     "1.8938824628532993",
 ]
 
-#: subprocess payload: run SCENARIO once in the tree given as argv[1]
+#: subprocess payload: run SCENARIO once in the tree given as argv[1].
+#: The ``homa`` entry is filtered to the fields that tree's HomaConfig
+#: knows, so the seed checkout (no ``grant_batch_ns``) accepts the
+#: pinned legacy scenario — dropping ``grant_batch_ns=0`` there is a
+#: no-op because 0 *is* the seed behavior.
 _WORKER = """
-import sys, json
+import sys, json, dataclasses
 sys.path.insert(0, sys.argv[1] + "/src")
 from repro.experiments.runner import ExperimentConfig, run_experiment
-cfg = ExperimentConfig(**json.loads(sys.argv[2]))
+from repro.homa.config import HomaConfig
+spec = json.loads(sys.argv[2])
+homa = spec.pop("homa", None)
+if homa is not None:
+    known = {f.name for f in dataclasses.fields(HomaConfig)}
+    homa = HomaConfig(**{k: v for k, v in homa.items() if k in known})
+cfg = ExperimentConfig(homa=homa, **spec)
 r = run_experiment(cfg)
+control = getattr(r, "control", None)
 print(json.dumps({
     "wall": r.wall_seconds, "events": r.events,
     "completed": r.completed,
+    "grants": getattr(control, "grants", 0),
     "p50": [repr(x) for x in r.slowdown_series(50)],
     "p99": [repr(x) for x in r.slowdown_series(99)],
 }))
@@ -106,15 +144,65 @@ def run_in_tree(tree: Path, scenario: dict) -> dict:
 
 def run_scenario(scenario: dict, repeats: int):
     """Run in-process ``repeats`` times; returns (best_result, walls)."""
-    from repro.experiments.runner import ExperimentConfig, run_experiment
+    from repro.experiments.runner import run_experiment
     best = None
     walls = []
     for _ in range(repeats):
-        result = run_experiment(ExperimentConfig(**scenario))
+        result = run_experiment(build_config(scenario))
         walls.append(result.wall_seconds)
         if best is None or result.wall_seconds < best.wall_seconds:
             best = result
     return best, walls
+
+
+def _merge_into_results(key: str, value: dict) -> None:
+    """Set one top-level key of BENCH_hotpaths.json, preserving the rest."""
+    try:
+        payload = json.loads(RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload[key] = value
+    RESULT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def grant_batching_comparison() -> dict:
+    """Run SCENARIO with legacy and batched grants; report the cut.
+
+    Grant/event counts are deterministic for a seeded scenario, so one
+    run per mode is exact; wall times are incidental here.
+    """
+    from repro.homa.config import HomaConfig
+
+    legacy_scn = dict(SCENARIO, homa={"grant_batch_ns": 0})
+    batch_ns = HomaConfig().grant_batch_ns
+    batched_scn = dict(SCENARIO, homa={"grant_batch_ns": batch_ns})
+
+    def measure(scenario):
+        result, _ = run_scenario(scenario, 1)
+        return result, {
+            "grants": result.control.grants,
+            "grant_ticks": result.control.grant_ticks,
+            "ctrl_packets": result.control.total,
+            "events": result.events,
+            "completed": result.completed,
+            "submitted": result.submitted,
+            "wall_seconds": round(result.wall_seconds, 4),
+            "p50": [repr(x) for x in result.slowdown_series(50)],
+            "p99": [repr(x) for x in result.slowdown_series(99)],
+        }
+
+    legacy_result, legacy = measure(legacy_scn)
+    batched_result, batched = measure(batched_scn)
+    return {
+        "scenario": SCENARIO,
+        "grant_batch_ns": batch_ns,
+        "legacy": legacy,
+        "batched": batched,
+        "grant_reduction": round(legacy["grants"] / batched["grants"], 3),
+        "event_reduction": round(legacy["events"] / batched["events"], 3),
+        "digest_identical_to_seed_at_batch_0":
+            legacy["p50"] == SEED_P50 and legacy["p99"] == SEED_P99,
+    }
 
 
 def main(argv=None) -> int:
@@ -126,9 +214,29 @@ def main(argv=None) -> int:
     parser.add_argument("--against-worktree", metavar="PATH",
                         help="seed checkout to measure interleaved with "
                              "the current tree (rigorous mode)")
+    parser.add_argument("--grant-batching", action="store_true",
+                        help="measure the grant pacer: legacy vs batched "
+                             "GRANT counts on the canonical scenario "
+                             "(updates BENCH_hotpaths.json)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
+
+    if args.grant_batching:
+        comparison = grant_batching_comparison()
+        _merge_into_results("grant_batching", comparison)
+        print(json.dumps(comparison, indent=1))
+        reduction = comparison["grant_reduction"]
+        print(f"grant packets: {comparison['legacy']['grants']} -> "
+              f"{comparison['batched']['grants']} "
+              f"({reduction:.2f}x cut at "
+              f"grant_batch_ns={comparison['grant_batch_ns']})")
+        ok = (reduction >= 1.8
+              and comparison["digest_identical_to_seed_at_batch_0"])
+        if not ok:
+            print("FAIL: expected >= 1.8x grant reduction and a "
+                  "seed-identical legacy digest", file=sys.stderr)
+        return 0 if ok else 1
 
     if args.smoke:
         best, walls = run_scenario(SMOKE_SCENARIO, 1)
@@ -137,6 +245,7 @@ def main(argv=None) -> int:
             "wall_seconds": round(best.wall_seconds, 4),
             "events": best.events,
             "messages_completed": best.completed,
+            "grants_sent": best.control.grants,
         }
         SMOKE_RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
         SMOKE_RESULT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
@@ -194,14 +303,15 @@ def main(argv=None) -> int:
             "p50": cur_best["p50"],
             "p99": cur_best["p99"],
         }
-        # Carry over the PR-over-PR trajectory notes (campaign wall
-        # times etc.) that other tooling appends to this artifact.
+        # Carry over every section other tooling owns (trajectory
+        # notes, the grant-batching comparison, future side keys):
+        # anything this mode does not itself write survives the rewrite.
         try:
             previous = json.loads(RESULT_PATH.read_text())
         except (OSError, ValueError):
             previous = {}
-        if "trajectory_notes" in previous:
-            payload["trajectory_notes"] = previous["trajectory_notes"]
+        for key, value in previous.items():
+            payload.setdefault(key, value)
         RESULT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
         print(json.dumps(payload, indent=1))
         print(f"speedup vs seed (interleaved): {speedup:.2f}x "

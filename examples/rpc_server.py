@@ -12,7 +12,7 @@ Run:  python examples/rpc_server.py
 
 from repro.core.engine import Simulator
 from repro.core.topology import NetworkConfig, build_network
-from repro.core.units import MS, US
+from repro.core.units import MS
 from repro.homa.config import HomaConfig
 from repro.transport.registry import transport_factory
 from repro.workloads.catalog import get_workload

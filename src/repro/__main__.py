@@ -136,7 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(sharded + cached)",
         description="Figure ids: " + ", ".join(
             f"{name} ({desc})" for name, (_, desc) in sorted(
-                CAMPAIGNS.items())))
+                CAMPAIGNS.items())),
+        epilog="Grid sizes follow the REPRO_BENCH_SCALE environment "
+               "variable: tiny (CI smoke), quick (the default), or "
+               "paper (the full Figure 11 topology; hours).  See "
+               "docs/CAMPAIGNS.md.")
     campaign.add_argument("figure",
                           choices=sorted(CAMPAIGNS) + ["all"],
                           help="figure/table id, or 'all'")

@@ -7,8 +7,6 @@ the size of each message is chosen from one of the workloads in Figure
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.engine import Simulator

@@ -26,7 +26,7 @@ from typing import Optional
 from repro.core.engine import Simulator
 from repro.core.packet import MAX_PAYLOAD, Packet, PacketType
 from repro.transport.base import Transport
-from repro.transport.messages import InboundMessage, Intervals, OutboundMessage
+from repro.transport.messages import InboundMessage, OutboundMessage
 
 #: consecutive timeouts before a flow enters probe mode
 PROBE_AFTER = 5

@@ -21,7 +21,7 @@ from collections import deque
 from typing import Optional
 
 from repro.core.engine import Simulator
-from repro.core.packet import CTRL_PRIO, MAX_PAYLOAD, Packet, PacketType
+from repro.core.packet import CTRL_PRIO, Packet, PacketType
 from repro.transport.base import Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 

@@ -26,7 +26,6 @@ order is identical to a single global heap.
 
 from __future__ import annotations
 
-import heapq
 import sys
 from heapq import heappop, heappush
 from typing import Any, Callable, List
@@ -306,3 +305,49 @@ class Simulator:
             for bucket in wheel.values():
                 count += sum(1 for event in bucket if event[_FN] is not None)
         return count
+
+
+class CoalescingTimer:
+    """A re-armable one-shot timer that collapses bursts of work.
+
+    ``arm()`` schedules ``fn`` one ``interval_ps`` ahead unless a firing
+    is already pending, so any number of ``arm()`` calls inside one
+    interval produce exactly one callback — the scheduling half of every
+    batching pattern (the Homa receiver's grant pacer, flush timers).
+    The event rides the simulator's heap/wheel like any other; the
+    callback runs with the timer disarmed, so it may re-arm itself.
+
+    Cancellation reuses the engine's lazy event cancellation: O(1), and
+    a cancelled event simply never fires.
+    """
+
+    __slots__ = ("_sim", "interval_ps", "_fn", "_event")
+
+    def __init__(self, sim: Simulator, interval_ps: int,
+                 fn: Callable[[], None]) -> None:
+        if interval_ps <= 0:
+            raise ValueError(f"interval must be positive, got {interval_ps}")
+        self._sim = sim
+        self.interval_ps = interval_ps
+        self._fn = fn
+        self._event: Event | None = None
+
+    @property
+    def pending(self) -> bool:
+        """True when a firing is already scheduled."""
+        return self._event is not None
+
+    def arm(self) -> None:
+        """Schedule the next firing unless one is already pending."""
+        if self._event is None:
+            self._event = self._sim.schedule0(self.interval_ps, self._fire)
+
+    def cancel(self) -> None:
+        """Drop the pending firing, if any (arm() starts a fresh one)."""
+        if self._event is not None:
+            self._event[_FN] = None
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()

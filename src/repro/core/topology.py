@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from heapq import heappush
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from repro.core.engine import Simulator
@@ -174,7 +174,6 @@ class Network:
         spray_bits = n_aggrs.bit_length() if n_aggrs else 0
 
         def make_tor_route(rack: int):
-            base = rack * hosts_per_rack
             up_base = rack * n_aggrs
 
             def route(pkt: Packet):

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Optional
 
 from repro.apps.echo import attach_echo_workload
 from repro.apps.openloop import attach_openloop_workload
@@ -21,6 +20,7 @@ from repro.core.topology import NetworkConfig, build_network
 from repro.core.units import MS
 from repro.homa.config import HomaConfig
 from repro.metrics.bandwidth import ThroughputMeter, WastedBandwidthTracker
+from repro.metrics.control import ControlTraffic
 from repro.metrics.delays import DelayDecomposition
 from repro.metrics.priousage import PriorityUsage
 from repro.metrics.queues import QueueLevelStats, QueueStats
@@ -99,6 +99,9 @@ class ExperimentResult:
     app_utilization: float = 0.0
     delay_breakdown: tuple[float, float] = (0.0, 0.0)
     aborted: int = 0
+    #: control-event totals (GRANT/RESEND/BUSY packets, pacer ticks),
+    #: always collected — the grant pacer's reduction is read from here
+    control: ControlTraffic = field(default_factory=ControlTraffic)
     #: outstanding bytes (submitted - received) sampled mid-generation
     #: and at generation end; their ratio detects open-loop instability
     #: even when a long drain lets everything eventually finish
@@ -146,6 +149,7 @@ class ExperimentResult:
             "app_utilization": self.app_utilization,
             "delay_breakdown": list(self.delay_breakdown),
             "aborted": self.aborted,
+            "control": self.control.to_payload(),
             "backlog_mid_bytes": self.backlog_mid_bytes,
             "backlog_end_bytes": self.backlog_end_bytes,
         }
@@ -169,6 +173,7 @@ class ExperimentResult:
             app_utilization=payload["app_utilization"],
             delay_breakdown=tuple(payload["delay_breakdown"]),
             aborted=payload["aborted"],
+            control=ControlTraffic.from_payload(payload.get("control")),
             backlog_mid_bytes=payload["backlog_mid_bytes"],
             backlog_end_bytes=payload["backlog_end_bytes"],
         )
@@ -275,6 +280,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         events=sim.events_processed,
         wall_seconds=time.monotonic() - wall_start,
         aborted=aborted,
+        control=ControlTraffic.collect(transports),
         backlog_mid_bytes=backlog_samples[0],
         backlog_end_bytes=backlog_samples[1],
     )

@@ -46,7 +46,9 @@ HEAVY_WORKLOADS = ("W4", "W5")
 def current_scale() -> Scale:
     name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
     if name not in SCALES:
-        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE {name!r}: must be one of "
+            f"{', '.join(sorted(SCALES))} (see docs/CAMPAIGNS.md)")
     return SCALES[name]
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.packet import MAX_PAYLOAD
-from repro.core.units import MS, US
+from repro.core.units import MS
 
 
 @dataclass
@@ -65,6 +65,17 @@ class HomaConfig:
     #: reserve the active-message slot of lowest priority for the oldest
     #: message (the section 5.1 speculation for very large messages)
     grant_oldest: bool = False
+    #: grant coalescing interval, in nanoseconds.  0 = legacy per-packet
+    #: mode: one GRANT per arriving scheduled data packet, slowdown
+    #: digests byte-identical to the seed tree.  Nonzero = batched mode
+    #: (the default, as real Homa implementations coalesce grants; see
+    #: the paper's complete version, arXiv:1803.09615): data arrivals
+    #: only mark the receiver grant-dirty and a per-receiver timer runs
+    #: the ranking pass once per interval, emitting at most one GRANT
+    #: per active message.  Batching shifts grant timing, so digests
+    #: drift from the per-packet mode; docs/PERFORMANCE.md documents the
+    #: contract and the measured control-packet reduction.
+    grant_batch_ns: int = 4000
 
     def resolved_unsched_limit(self, rtt_bytes: int) -> int:
         """Unscheduled byte limit, packet-aligned unless overridden."""

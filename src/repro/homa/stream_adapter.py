@@ -14,7 +14,7 @@ retransmissions).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.homa.transport import HomaTransport
 

@@ -5,12 +5,16 @@ One ``HomaTransport`` instance runs on each host and plays both roles:
 * **Sender** (3.2): transmits the unscheduled prefix of each message
   blindly, then only granted bytes; picks the outgoing packet with SRPT
   (fewest remaining bytes first); control packets always go first.
-* **Receiver** (3.3-3.5): issues one GRANT per arriving data packet so
-  each active message keeps RTTbytes granted-but-not-received; grants
-  to the top-K shortest messages simultaneously (controlled
-  overcommitment, K = number of scheduled priority levels); assigns a
-  distinct scheduled priority per active message, lowest levels first
-  to avoid preemption lag (Figure 5).
+* **Receiver** (3.3-3.5): keeps each active message RTTbytes
+  granted-but-not-received; grants to the top-K shortest messages
+  simultaneously (controlled overcommitment, K = number of scheduled
+  priority levels); assigns a distinct scheduled priority per active
+  message, lowest levels first to avoid preemption lag (Figure 5).
+  GRANT emission is paced by ``HomaConfig.grant_batch_ns``: per
+  arriving data packet in legacy mode (0, the paper's simulator), or
+  coalesced by a per-receiver batch timer that runs the ranking pass
+  once per interval and emits at most one GRANT per active message
+  (nonzero, as real implementations do — arXiv:1803.09615 section 4).
 * **RPC layer** (3.1, 3.6-3.8): connectionless at-least-once RPCs; the
   response acknowledges the request; servers discard all RPC state once
   the last response byte is handed to the NIC; incast control marks
@@ -23,9 +27,10 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush, heapreplace
 from typing import Callable, Optional
 
-from repro.core.engine import Simulator
+from repro.core.engine import CoalescingTimer, Simulator
 from repro.core.packet import (CTRL_PRIO, MAX_PAYLOAD, MIN_WIRE, Packet,
                                PacketType)
+from repro.core.units import NS, ps_per_byte
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import (
     OnlineEstimator,
@@ -83,12 +88,25 @@ class HomaTransport(Transport):
         cfg: HomaConfig,
         allocation: PriorityAllocation,
         rtt_bytes: int,
+        link_gbps: int = 10,
     ) -> None:
         super().__init__(sim)
         self.cfg = cfg
         self.alloc = allocation
         self.rtt_bytes = cfg.rtt_bytes or rtt_bytes
         self.unsched_limit = cfg.resolved_unsched_limit(self.rtt_bytes)
+        # Bytes kept granted-but-not-received per active message.  Legacy
+        # per-packet mode: exactly RTTbytes (the paper's simulator).  In
+        # batched mode the target also covers the grant emission delay —
+        # one batch interval of line-rate bytes — otherwise the sender's
+        # window hits zero between ticks and large-message throughput
+        # drops by ~tick/RTT (see docs/PERFORMANCE.md).
+        if cfg.grant_batch_ns:
+            batch_slack = -(-(cfg.grant_batch_ns * NS)
+                            // ps_per_byte(link_gbps))
+        else:
+            batch_slack = 0
+        self.grant_window = self.rtt_bytes + batch_slack
         self.outbound: dict[int, OutboundMessage] = {}
         self.inbound: dict[int, InboundMessage] = {}
         self.client_rpcs: dict[int, ClientRpc] = {}
@@ -117,6 +135,13 @@ class HomaTransport(Transport):
         # forces the next _schedule_grants through the full ranking pass
         # (the single-message fast path is only sound in steady state).
         self._grant_dirty = True
+        # Grant pacer: with grant_batch_ns nonzero, data arrivals only
+        # arm this timer and the ranking pass runs once per tick,
+        # emitting at most one GRANT per active message (batched mode).
+        # None = legacy per-packet grants, byte-identical to the seed.
+        self._grant_timer = (
+            CoalescingTimer(sim, cfg.grant_batch_ns * NS, self._grant_tick)
+            if cfg.grant_batch_ns else None)
         #: server application: fn(transport, server_rpc) -> None.
         #: When unset, inbound requests are treated as one-way messages.
         self.rpc_handler: Optional[Callable[["HomaTransport", ServerRpc], None]] = None
@@ -130,6 +155,7 @@ class HomaTransport(Transport):
         self.peer_alloc: dict[int, PriorityAllocation] = {}
         # Counters.
         self.grants_sent = 0
+        self.grant_ticks = 0
         self.resends_sent = 0
         self.busys_sent = 0
         self.rpcs_aborted = 0
@@ -337,7 +363,17 @@ class HomaTransport(Transport):
                       msg.first_arrival_ps, msg.sort_seq, msg])
             if len(heap) > 128 and len(heap) > 4 * len(self._grantable):
                 self._prune_grant_heap()
-        self._schedule_grants(msg)
+        pacer = self._grant_timer
+        if pacer is None:
+            self._schedule_grants(msg)
+        elif self._grantable:
+            # Batched mode: mark grant-dirty work by arming the pacer —
+            # covers both "this message can take a further grant" and
+            # "a completion/full-grant freed an overcommitment slot"
+            # (the tick's full ranking pass handles either).  An empty
+            # grantable set has no grants to extend, so the receiver
+            # goes quiescent with no pending tick.
+            pacer.arm()
         timer = self._timer_event
         if timer is None or timer[2] is None:  # inline is_pending
             self._ensure_timer()
@@ -368,6 +404,20 @@ class HomaTransport(Transport):
     # receiver: grants, overcommitment, priorities (3.3-3.5)
     # ------------------------------------------------------------------
 
+    def _grant_tick(self) -> None:
+        """One pacer firing: run the full ranking pass once.
+
+        ``changed=None`` forces ``_schedule_grants`` through the full
+        pass, which ranks the active set and emits at most one GRANT per
+        active message, each carrying the furthest allocation
+        (bytes_received + RTTbytes, packet-aligned) known at tick time —
+        a burst of data arrivals inside one interval collapses into one
+        batch of control packets.  The pacer is re-armed by the next
+        data arrival, so an idle receiver schedules no ticks.
+        """
+        self.grant_ticks += 1
+        self._schedule_grants()
+
     def _grant_degree(self) -> int:
         if self.cfg.unlimited_overcommit:
             return 1 << 30
@@ -392,7 +442,7 @@ class HomaTransport(Transport):
             msg = changed
             if grantable.get(msg.key) is not msg:
                 return  # fully granted: nothing further to extend
-            new_grant = msg.received.total + self.rtt_bytes
+            new_grant = msg.received.total + self.grant_window
             new_grant = -(-new_grant // MAX_PAYLOAD) * MAX_PAYLOAD
             if new_grant > msg.length:
                 new_grant = msg.length
@@ -452,14 +502,25 @@ class HomaTransport(Transport):
         for rank, msg in enumerate(ordered):
             prio = self.alloc.sched_prio(rank)
             msg.sched_prio = prio
-            new_grant = msg.bytes_received + self.rtt_bytes
+            received = msg.bytes_received
+            new_grant = received + self.grant_window
             # Grant in whole packets, as the implementation does.
             new_grant = -(-new_grant // MAX_PAYLOAD) * MAX_PAYLOAD
-            new_grant = min(new_grant, msg.length)
+            if new_grant > msg.length:
+                new_grant = msg.length
+            # The overcommitment slot frees when the message would be
+            # fully granted under *per-packet* pacing: received +
+            # RTTbytes covers the remainder.  The batch slack may push
+            # ``granted`` to the end one tick earlier, but the message
+            # keeps holding its slot until then — otherwise every tick
+            # would release a fresh top-K of near-RTT-sized messages
+            # (incast!) at K*length per tick instead of the drain rate.
+            # With zero slack both targets coincide, byte-identically.
+            base = received + self.rtt_bytes
+            if -(-base // MAX_PAYLOAD) * MAX_PAYLOAD >= msg.length:
+                self._grantable.pop(msg.key, None)
             if new_grant > msg.granted:
                 msg.granted = new_grant
-                if new_grant >= msg.length:
-                    self._grantable.pop(msg.key, None)
                 self.grants_sent += 1
                 self.send_ctrl(self._grant_packet(msg, new_grant, prio,
                                                   cutoffs))

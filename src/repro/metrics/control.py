@@ -1,0 +1,68 @@
+"""Control-traffic accounting: how many control events a run emitted.
+
+Homa's receiver paces senders with GRANT packets, and the cost of that
+control traffic — one GRANT per scheduled data packet in the paper's
+simulator — is the dominant per-packet overhead at high load (it is the
+motivation for the batched grant pacer, ``HomaConfig.grant_batch_ns``).
+This collector sums the per-transport counters after a run so the
+reduction is measurable: ``benchmarks/bench_perf_hotpaths.py
+--grant-batching`` records the legacy-vs-batched grant counts in
+``BENCH_hotpaths.json``.
+
+Counters are read with ``getattr(..., 0)`` so non-Homa transports (and
+future protocols without a given counter) participate with zeros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ControlTraffic:
+    """Control-event totals summed over every transport in a run."""
+
+    #: GRANT packets emitted by receivers
+    grants: int = 0
+    #: RESEND packets emitted (receiver timeouts and client probes)
+    resends: int = 0
+    #: BUSY packets emitted by senders
+    busys: int = 0
+    #: grant-pacer timer firings (0 in legacy per-packet mode)
+    grant_ticks: int = 0
+
+    @classmethod
+    def collect(cls, transports: Iterable) -> "ControlTraffic":
+        """Sum the control counters of every transport."""
+        grants = resends = busys = ticks = 0
+        for transport in transports:
+            grants += getattr(transport, "grants_sent", 0)
+            resends += getattr(transport, "resends_sent", 0)
+            busys += getattr(transport, "busys_sent", 0)
+            ticks += getattr(transport, "grant_ticks", 0)
+        return cls(grants=grants, resends=resends, busys=busys, grant_ticks=ticks)
+
+    @property
+    def total(self) -> int:
+        """All control packets put on the wire (ticks are not packets)."""
+        return self.grants + self.resends + self.busys
+
+    def to_payload(self) -> dict:
+        return {
+            "grants": self.grants,
+            "resends": self.resends,
+            "busys": self.busys,
+            "grant_ticks": self.grant_ticks,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict | None) -> "ControlTraffic":
+        if not payload:
+            return cls()
+        return cls(
+            grants=payload.get("grants", 0),
+            resends=payload.get("resends", 0),
+            busys=payload.get("busys", 0),
+            grant_ticks=payload.get("grant_ticks", 0),
+        )

@@ -78,7 +78,8 @@ def transport_factory(
             n_sched_override=cfg.n_sched_override,
             cutoff_override=cfg.cutoff_override,
         )
-        return lambda host: HomaTransport(sim, cfg, alloc, rtt_bytes)
+        return lambda host: HomaTransport(sim, cfg, alloc, rtt_bytes,
+                                          link_gbps=host_gbps)
 
     if protocol == "pfabric":
         return lambda host: PfabricTransport(sim, rtt_bytes=rtt_bytes,

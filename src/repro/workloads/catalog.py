@@ -21,7 +21,7 @@ multiples of the authors' 1442-byte payload; we use our payload), so
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.packet import MAX_PAYLOAD
 from repro.workloads.distributions import EmpiricalCDF

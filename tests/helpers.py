@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.engine import Simulator
-from repro.core.topology import Network, NetworkConfig, build_network
+from repro.core.topology import NetworkConfig, build_network
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import allocate_priorities
 from repro.homa.transport import HomaTransport
@@ -39,8 +39,45 @@ def homa_cluster(
         cutoff_override=cfg.cutoff_override,
     )
     transports = net.attach_transports(
-        lambda host: HomaTransport(sim, cfg, alloc, rtt))
+        lambda host: HomaTransport(sim, cfg, alloc, rtt,
+                                   link_gbps=net.cfg.host_gbps))
     return sim, net, transports
+
+
+class FakeEgress:
+    """Stub NIC egress for direct-transport tests.
+
+    Reports "wire busy" so ``send_ctrl`` queues control packets in
+    ``transport.ctrl``, where tests inspect them.
+    """
+
+    busy = True
+
+    def __init__(self):
+        self.kicks = 0
+
+    def kick(self):
+        self.kicks += 1
+
+    def _next(self):
+        pass
+
+
+class FakeHost:
+    """Stub host binding for driving a transport without a network."""
+
+    def __init__(self, sim, hid):
+        self.sim = sim
+        self.hid = hid
+        self.egress = FakeEgress()
+
+
+def drain_ctrl(transport):
+    """Pop and return every queued control packet."""
+    out = []
+    while transport.ctrl:
+        out.append(transport.ctrl.popleft())
+    return out
 
 
 def collect_completions(transports):

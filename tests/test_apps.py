@@ -1,10 +1,8 @@
 """Tests for the traffic-generating applications."""
 
-import pytest
-
 from repro.apps.echo import EchoClient, attach_echo_workload, echo_handler
 from repro.apps.incast import IncastClient
-from repro.apps.openloop import OpenLoopSender, attach_openloop_workload
+from repro.apps.openloop import attach_openloop_workload
 from repro.core.units import MS
 from repro.workloads.catalog import WORKLOADS
 
@@ -116,7 +114,7 @@ def test_incast_round_robins_servers():
     sim, net, transports = homa_cluster(hosts_per_rack=8)
     for transport in transports[1:]:
         transport.rpc_handler = echo_handler
-    client = IncastClient(sim, transports[0], list(range(1, 8)), 14)
+    IncastClient(sim, transports[0], list(range(1, 8)), 14)
     destinations = [rpc.dst for rpc in transports[0].client_rpcs.values()]
     assert all(destinations.count(d) == 2 for d in range(1, 8))
     sim.run(until_ps=5 * MS)

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.engine import Simulator
 from repro.core.packet import Packet, PacketType, wire_size
-from repro.core.topology import NetworkConfig, build_network
 from repro.core.units import US
 from repro.metrics.bandwidth import ThroughputMeter, WastedBandwidthTracker
 from repro.metrics.priousage import PriorityUsage

@@ -6,8 +6,6 @@ pFabric fine-priority drops and retransmission, PIAS demotion + ECN
 backoff, NDP trimming + fair-share pulls.
 """
 
-import pytest
-
 from repro.baselines.ndp import NdpTransport
 from repro.baselines.pfabric import PfabricTransport
 from repro.baselines.phost import PHostTransport

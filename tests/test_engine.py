@@ -141,3 +141,76 @@ def test_events_processed_accumulates():
     sim.schedule(2, lambda: None)
     sim.run()
     assert sim.events_processed == 2
+
+
+# ---------------------------------------------------------------------------
+# CoalescingTimer: the batching primitive (grant pacer et al.)
+# ---------------------------------------------------------------------------
+
+
+def test_coalescing_timer_collapses_arms_into_one_fire():
+    from repro.core.engine import CoalescingTimer
+
+    sim = Simulator()
+    fired = []
+    timer = CoalescingTimer(sim, 1000, lambda: fired.append(sim.now))
+    for _ in range(5):
+        timer.arm()  # five arms inside one interval: one callback
+    assert timer.pending
+    sim.run()
+    assert fired == [1000]
+    assert not timer.pending
+
+
+def test_coalescing_timer_rearms_after_firing():
+    from repro.core.engine import CoalescingTimer
+
+    sim = Simulator()
+    fired = []
+    timer = CoalescingTimer(sim, 1000, lambda: fired.append(sim.now))
+    timer.arm()
+    sim.run()
+    timer.arm()  # a fresh interval, measured from now
+    sim.run()
+    assert fired == [1000, 2000]
+
+
+def test_coalescing_timer_callback_may_rearm_itself():
+    from repro.core.engine import CoalescingTimer
+
+    sim = Simulator()
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.arm()
+
+    timer = CoalescingTimer(sim, 500, tick)
+    timer.arm()
+    sim.run()
+    assert fired == [500, 1000, 1500]
+
+
+def test_coalescing_timer_cancel_drops_pending_fire():
+    from repro.core.engine import CoalescingTimer
+
+    sim = Simulator()
+    fired = []
+    timer = CoalescingTimer(sim, 1000, lambda: fired.append(sim.now))
+    timer.arm()
+    timer.cancel()
+    assert not timer.pending
+    sim.run()
+    assert fired == []
+    timer.arm()  # cancel must not wedge the timer
+    sim.run()
+    assert fired == [1000]
+
+
+def test_coalescing_timer_rejects_nonpositive_interval():
+    from repro.core.engine import CoalescingTimer
+
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CoalescingTimer(sim, 0, lambda: None)

@@ -1,14 +1,11 @@
 """Tests for the experiments layer: scale control, tables, max-load."""
 
-import math
-
 import pytest
 
 from repro.experiments.maxload import find_max_load
 from repro.experiments.runner import ExperimentConfig, run_experiment
 from repro.experiments.scale import (
     SCALES,
-    Scale,
     current_scale,
     effective_load,
     scaled_kwargs,
@@ -26,8 +23,13 @@ def test_current_scale_env(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
     assert current_scale().name == "tiny"
     monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError) as excinfo:
         current_scale()
+    # The error names the offending value and every valid scale.
+    message = str(excinfo.value)
+    assert "'bogus'" in message
+    for valid in SCALES:
+        assert valid in message
 
 
 def test_scaled_kwargs_heavy_workloads(monkeypatch):

@@ -1,7 +1,12 @@
 """Focused unit tests for the Homa receiver's grant scheduler and the
-sender's packet selection, exercised directly (no full network)."""
+sender's packet selection, exercised directly (no full network).
 
-import pytest
+Everything here pins ``grant_batch_ns=0`` (``make_transport`` forces
+it): these tests assert the *synchronous* per-packet grant semantics
+the paper's simulator defines.  The batched grant pacer has its own
+direct-transport coverage in tests/test_grant_batching.py."""
+
+from dataclasses import replace
 
 from repro.core.engine import Simulator
 from repro.core.packet import CTRL_PRIO, MAX_PAYLOAD, Packet, PacketType
@@ -10,31 +15,14 @@ from repro.homa.priorities import allocate_priorities
 from repro.homa.transport import HomaTransport
 from repro.workloads.catalog import WORKLOADS
 
+from tests.helpers import FakeHost, drain_ctrl
+
 RTT = 9680
-
-
-class FakeEgress:
-    #: "wire busy" so send_ctrl queues packets in transport.ctrl, where
-    #: the tests inspect them
-    busy = True
-
-    def __init__(self):
-        self.kicks = 0
-
-    def kick(self):
-        self.kicks += 1
-
-
-class FakeHost:
-    def __init__(self, sim, hid):
-        self.sim = sim
-        self.hid = hid
-        self.egress = FakeEgress()
 
 
 def make_transport(homa_cfg=None, workload="W4"):
     sim = Simulator()
-    cfg = homa_cfg or HomaConfig()
+    cfg = replace(homa_cfg or HomaConfig(), grant_batch_ns=0)
     alloc = allocate_priorities(
         WORKLOADS[workload].cdf, cfg.resolved_unsched_limit(RTT),
         n_prios=cfg.n_prios,
@@ -50,13 +38,6 @@ def data_packet(src, rpc_id, offset, payload, total, created=0):
                   rpc_id=rpc_id, is_request=True, offset=offset,
                   total_length=total, grant_offset=min(total, 10220),
                   created_ps=created)
-
-
-def drain_ctrl(transport):
-    out = []
-    while transport.ctrl:
-        out.append(transport.ctrl.popleft())
-    return out
 
 
 def test_grant_emitted_per_data_packet():

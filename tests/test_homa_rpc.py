@@ -1,8 +1,6 @@
 """Tests for Homa's RPC layer: at-least-once semantics, RESEND/BUSY
 loss recovery, and incast control (paper sections 3.1, 3.6-3.8)."""
 
-import pytest
-
 from repro.core.packet import PacketType
 from repro.core.units import MS, US
 from repro.homa.config import HomaConfig

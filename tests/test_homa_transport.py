@@ -1,8 +1,5 @@
 """Integration tests for the Homa transport on small networks."""
 
-import pytest
-
-from repro.core.engine import Simulator
 from repro.core.packet import MAX_PAYLOAD, PacketType
 from repro.core.units import MS, US
 from repro.homa.config import HomaConfig
@@ -63,11 +60,13 @@ def test_large_message_grant_flow_keeps_line_rate_cross_rack():
 
 
 def test_granted_minus_received_bounded():
-    """Flow control invariant (3.3): never more than RTTbytes granted
-    but unreceived (modulo packet rounding)."""
+    """Flow control invariant (3.3): never more than the grant window
+    granted but unreceived (modulo packet rounding).  The window is
+    RTTbytes, plus one batch interval of line-rate bytes when the grant
+    pacer is batching (``HomaConfig.grant_batch_ns``)."""
     sim, net, transports = homa_cluster()
     receiver = transports[1]
-    bound = receiver.rtt_bytes + MAX_PAYLOAD
+    bound = receiver.grant_window + MAX_PAYLOAD
     violations = []
 
     original = receiver._schedule_grants

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.homa.priorities import (
     OnlineEstimator,
-    PriorityAllocation,
     allocate_priorities,
     compute_cutoffs,
     split_levels,
