@@ -63,6 +63,12 @@ def campaign_spec(workload: str) -> campaign.CampaignSpec:
     return campaign.experiment_grid(f"fig08-{workload}", cfgs)
 
 
+def campaign_specs() -> list[campaign.CampaignSpec]:
+    """Every per-workload campaign (the ``campaign all`` pool)."""
+    return [campaign_spec(workload)
+            for workload in WORKLOADS_BY_SCALE[current_scale().name]]
+
+
 def run_campaign(workload: str, jobs=None, fresh=False):
     return campaign.run(campaign_spec(workload), jobs=jobs, fresh=fresh)
 

@@ -43,6 +43,11 @@ def campaign_spec(workload: str) -> campaign.CampaignSpec:
     return campaign.experiment_grid(f"fig12-{workload}", cfgs)
 
 
+def campaign_specs() -> list[campaign.CampaignSpec]:
+    """Every per-workload campaign (the ``campaign all`` pool)."""
+    return [campaign_spec(workload) for workload in WORKLOADS]
+
+
 def run_campaign(workload: str, jobs=None, fresh=False):
     return campaign.run(campaign_spec(workload), jobs=jobs, fresh=fresh)
 

@@ -1,0 +1,700 @@
+"""Idle-path cut-through: collapse multi-hop delivery into few events.
+
+Homa's receiver-driven priorities keep switch queues nearly empty, so
+the *common case* for a packet in this simulator is a traversal that
+meets only idle ports (at 80% load roughly two thirds of switch
+arrivals target an idle aggregation port).  The standard event machinery
+still charges that packet the full per-hop toll — an ingress-delay
+arrival event plus a tx-done event per hop, then the receiver's
+software-delay delivery: ~7 events for a cross-rack traversal.
+
+Cut-through elides that machinery.  When a switch ingress routes a
+packet to an idle, clean egress port, it *chains* as many of the
+remaining hops as are idle and clean: each hop's residency (ingress
+delay + serialization) is computed in closed form and the hop's link
+window is reserved on the port (``res_start_ps``/``res_end_ps``).  The
+chain's one pending event is a **wire-done** at the last reserved
+hop's end, which hands the packet on — to the next switch's ingress
+for a mid-path chain, or to the host ingress (which allocates the
+software-delay delivery exactly where the slow path allocates it) for
+a completed one.  A host→TOR→aggr→TOR→host traversal over idle ports
+costs two events (wire-done + delivery) instead of seven.
+
+This is a pure event-count optimization: the contract, pinned by the
+golden-digest tests, the bench digest gates, and the on/off property
+tests, is that slowdown digests are byte-identical with cut-through on
+and off.  Byte-identity is demanding because event *rank* at equal
+timestamps is observable: the heap breaks time ties by event creation
+order (seq), and transports see that order through the shared spray
+RNG, per-port FIFOs, and priority dequeues.  Three mechanisms keep
+same-instant order identical to the slow path:
+
+* **Reservation conflicts.**  A reserved port resolves its reservation
+  before accepting any other packet (``QueuedPort.enqueue``): an
+  interloper arriving before the window starts *diverts* the chain
+  (truncate past this hop, re-aim a launch at the hop's start — the
+  packet's exact slow-path arrival instant); inside the window the
+  reservation *materializes* into a real in-flight transmission that
+  the interloper then queues behind (or preempts, on a preemptive
+  port); past the window the reservation is stale and dropped lazily.
+  Exact start/end-instant ties are resolved by the lineage walk below.
+
+* **Allocation lineages.**  The slow path orders same-instant events
+  by their seqs, seqs are allocated in time order, and within one
+  instant by the allocating events' own seqs — recursively.  Chains
+  know their whole virtual timeline plus one real seq (``plan_seq``,
+  allocated exactly where the slow path would have allocated the
+  arrival), and packets carry their recent allocation history
+  (``tx_start_ps``, ``alloc_ps``/``alloc2_ps``/``alloc3_ps``,
+  ``arrival_ps``/``rank_seq`` and the previous hop's pair), maintained
+  by shifting at the transmit and ingress-scheduling sites.  A
+  lockstep walk (``_earlier``) replays the slow path's comparison
+  level by level; walks that exhaust default to the chain — the
+  documented residual caveat, one exact-coincidence level deeper than
+  the stamps reach.
+
+* **Rank turns.**  A chain continuation (wire-done or post-divert
+  launch) and the completion of a transmission materialized mid-window
+  carry seqs from the wrong instant, so before acting they compare
+  lineages against the pending heap top and *yield* (re-push with a
+  fresh seq) while the slow path would have run the top first.
+  Conversely, enqueues and real tx-dones pull a pending same-instant
+  late materialization in front of themselves when its lineage says
+  the slow path completed it first.
+
+Chains never form through ports with observable queue state (finite
+buffers, ECN, trimming, pFabric), attached probes, or delay tracing —
+those ports take the slow path, which is how the queue-length and
+bandwidth meters keep seeing every byte and the Figure 14 delay
+decomposition keeps attributing serialization vs. queueing per hop.
+Per-port ``tx_packets``/``tx_wire_bytes`` counters are credited at
+planning time and debited wherever a real tx-done re-credits them, so
+end-of-run accounting is identical either way.
+
+Measured on the canonical 144-host W4@80% scenario the mode elides
+1.37x of all simulation events — but in CPython the chain bookkeeping
+(predicates, reservations, lineage stamps) costs about as much per
+chain as the ~1 µs events it removes, so wall time is ~0.85x there.
+``NetworkConfig.cut_through`` therefore defaults to off; the mode is
+the A/B instrument for the event machinery (``bench_perf_hotpaths.py
+--cut-through``) and the wall win is expected only where dispatch
+dominates bookkeeping (JIT runtimes, a future compiled engine).  See
+docs/PERFORMANCE.md for the full measurement and methodology.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.core.engine import Simulator
+from repro.core.packet import ALLOC_UNKNOWN, Packet
+
+#: indices into a Network's ``cut_stats`` list
+STAT_CHAINS = 0
+STAT_HOPS = 1
+STAT_DIVERTS = 2
+STAT_MATERIALIZES = 3
+
+#: hop record stride in ``CutChain.hops`` (port, start_ps, end_ps)
+_HOP = 3
+
+#: only chain the *receiver downlink* hop for frames up to this many
+#: wire bytes: at host line rate a full frame reserves the downlink
+#: for ~1.2 us, long enough that at high load an interloper usually
+#: arrives mid-window and the chain pays divert/materialize machinery
+#: instead of eliding events.  Small frames (grants and other control)
+#: hold the downlink for well under the switch ingress delay, so their
+#: reservations almost never conflict.  Pure planning heuristic —
+#: digests are byte-identical for any value.
+TAIL_HOP_MAX_WIRE = 500
+
+#: ``Packet.rank_seq`` sentinel: no real-seq rank is known for the
+#: packet's arrival, so deep-tie resolutions fall back to the chain
+#: (any genuine seq compares smaller).  Shares the packet module's
+#: sentinel — the value is load-bearing in lineage comparisons, so
+#: there must be exactly one.
+RANK_UNKNOWN = ALLOC_UNKNOWN
+
+
+class CutChain:
+    """The analytic remainder of one packet's path.
+
+    ``hops`` is a flat ``[port, start_ps, end_ps, ...]`` list in path
+    order (three slots per hop; ports store their own flat index in
+    ``res_idx``).  ``event`` is the single pending continuation — the
+    wire-done at the last hop's end, or a post-divert launch at a
+    hop's start.  Conflict handlers truncate the chain from the
+    conflicting hop onward; reservations upstream of the truncation
+    stay live, because the packet still occupies those links.
+    """
+
+    #: ``plan_seq`` is the wire-done's seq, allocated at plan time —
+    #: rank-equivalent to the arrival the slow path would have
+    #: scheduled in the same processing step, which is what deep ties
+    #: compare.  Chains are only ever constructed by ``_install`` (no
+    #: ``__init__``: one construction path keeps the slots honest).
+    __slots__ = ("sim", "pkt", "hops", "event", "stats", "plan_seq")
+
+    def _release_from(self, idx: int) -> None:
+        """Cancel the continuation and drop reservations and counter
+        credits for the flat hop slots ``idx:``."""
+        if self.event is not None:
+            Simulator.cancel(self.event)
+        pkt_wire = self.pkt.wire
+        hops = self.hops
+        for j in range(idx, len(hops), _HOP):
+            port = hops[j]
+            if port.res_chain is self:
+                port.res_chain = None
+            port.tx_packets -= 1
+            port.tx_wire_bytes -= pkt_wire
+        del hops[idx:]
+
+    def divert(self, idx: int) -> None:
+        """An interloper goes first at hop ``idx``: truncate the chain
+        past this hop and re-aim the launch at this hop's start — the
+        packet's exact slow-path arrival instant.  The hop itself stays
+        reserved, so later arrivals keep resolving their order against
+        the chained packet pairwise, and the launch (which yields into
+        its slow-path rank) re-enters it through the standard enqueue
+        once the port is no longer clean."""
+        hops = self.hops
+        port = hops[idx]
+        start_ps = hops[idx + 1]
+        sim = self.sim
+        if len(hops) - _HOP > idx:
+            pkt_wire = self.pkt.wire
+            for j in range(idx + _HOP, len(hops), _HOP):
+                p = hops[j]
+                if p.res_chain is self:
+                    p.res_chain = None
+                p.tx_packets -= 1
+                p.tx_wire_bytes -= pkt_wire
+            del hops[idx + _HOP:]
+        if self.event is not None:
+            Simulator.cancel(self.event)
+        self.event = sim.schedule_at1(start_ps, _launch, self)
+        if start_ps > port.last_arrival_ps:
+            # Block arrival fusion until the re-entry instant: a fused
+            # append would overtake the chained packet in the FIFO.
+            port.last_arrival_ps = start_ps
+        self.stats[STAT_DIVERTS] += 1
+
+    def materialize(self, idx: int) -> None:
+        """The chained packet is analytically on the wire at hop
+        ``idx``: reconstruct it as a real in-flight transmission."""
+        hops = self.hops
+        port = hops[idx]
+        start_ps = hops[idx + 1]
+        end_ps = hops[idx + 2]
+        pkt = self.pkt
+        old_tx, old_alloc = pkt.tx_start_ps, pkt.alloc_ps
+        self._release_from(idx)
+        # _release_from debited this hop; the real tx-done re-credits.
+        port._materialize(pkt, start_ps, end_ps)
+        if idx == 0:
+            # At the chain's first hop the plan seq is the packet's
+            # real arrival rank (allocated exactly where the slow path
+            # would have allocated the arrival), and the deeper levels
+            # are the packet's own pre-chain history.
+            pkt.rank_seq = self.plan_seq
+            pkt.alloc2_ps = old_tx
+            pkt.alloc3_ps = old_alloc
+        else:
+            # Deeper levels: the virtual upstream tx-done and enqueue.
+            pkt.alloc2_ps = self.hops[idx - 2]
+            pkt.alloc3_ps = self.hops[idx - 2] - port.in_delay_ps
+        self.stats[STAT_MATERIALIZES] += 1
+
+    def reenter(self, idx: int) -> None:
+        """Hand the packet back to the standard path at hop ``idx``,
+        right now — its exact slow-path arrival instant."""
+        hops = self.hops
+        port = hops[idx]
+        pkt = self.pkt
+        # Re-create the slow path's arrival lineage: at the first hop
+        # the plan seq is rank-equivalent to the arrival the slow path
+        # would have scheduled; deeper hops have no real equivalent.
+        pkt.prev_arrival_ps = pkt.arrival_ps
+        pkt.prev_rank_seq = pkt.rank_seq
+        pkt.arrival_ps = hops[idx + 1]
+        pkt.rank_seq = self.plan_seq if idx == 0 else RANK_UNKNOWN
+        if idx:
+            # Present the analytic upstream hop as the packet's current
+            # transmission, so the enqueue's pass-through shift files
+            # the right history.
+            pkt.tx_start_ps = hops[idx - 2]
+            pkt.alloc_ps = hops[idx - 2] - port.in_delay_ps
+        self._release_from(idx)
+        port.enqueue(pkt)
+        self.stats[STAT_DIVERTS] += 1
+
+
+def _chain_lineage(chain: CutChain, idx: int) -> list:
+    """The chain's allocation lineage at hop ``idx``, as ``(instant,
+    seq-or-None)`` pairs in *descending* instants: the virtual enqueue
+    and tx-done allocation instants hop by hop back to the plan (whose
+    seq is real — it was allocated exactly where the slow path would
+    have allocated the arrival), then the packet's own pre-chain
+    stamps."""
+    hops = chain.hops
+    delay = hops[idx].in_delay_ps
+    out = []
+    j = idx
+    while j > 0:
+        out.append((hops[j + 1] - delay, None))   # virtual enqueue
+        out.append((hops[j - 2], None))           # virtual tx-done
+        j -= _HOP
+    out.append((hops[1] - delay, chain.plan_seq))
+    pkt = chain.pkt
+    out.append((pkt.tx_start_ps, None))
+    out.append((pkt.alloc_ps,
+                pkt.rank_seq if pkt.arrival_ps == pkt.tx_start_ps else None))
+    out.append((pkt.alloc2_ps, None))
+    out.append((pkt.alloc3_ps, None))
+    return out
+
+
+def _pkt_lineage(pkt, funnel: int) -> list:
+    """An arriving packet's allocation lineage: its scheduled arrival
+    (real seq, allocated at the funnel), the upstream transmission
+    start (the tx-done's allocation instant), and that transmission's
+    own allocator — with a real seq when it was a pass-through hop, so
+    the allocator was the previous scheduled arrival."""
+    return [(funnel, pkt.rank_seq), (pkt.tx_start_ps, None),
+            (pkt.alloc_ps,
+             pkt.prev_rank_seq if pkt.prev_arrival_ps == pkt.tx_start_ps
+             else None),
+            (pkt.alloc2_ps, None), (pkt.alloc3_ps, None)]
+
+
+def _earlier(la: list, lb: list):
+    """Lockstep lineage comparison: would the slow path have allocated
+    ``la``'s pending event before ``lb``'s?  Seqs are allocated in
+    time order, so an earlier instant at the first differing level
+    decides; at equal instants two real seqs decide exactly (seq order
+    within one run replays the slow path's).  Returns None when both
+    lineages exhaust — undecidable, the documented within-instant
+    caveat."""
+    for (ia, sa), (ib, sb) in zip(la, lb):
+        if ia != ib:
+            return ia < ib
+        if sa is not None and sb is not None:
+            return sa < sb
+    return None
+
+
+def precedes(chain: CutChain, idx: int, pkt) -> bool:
+    """Would the slow path have processed ``pkt``'s enqueue before the
+    chained packet's virtual enqueue at hop ``idx``?  Both events were
+    allocated one ingress delay ago (the funnel); the lineage walk
+    replays the slow path's seq comparison level by level.
+    Undecidable (exhausted) lineages default to the chain."""
+    port = chain.hops[idx]
+    funnel = chain.hops[idx + 1] - port.in_delay_ps
+    return bool(_earlier(_pkt_lineage(pkt, funnel),
+                         _chain_lineage(chain, idx)))
+
+
+def _tx_lineage(cur) -> list:
+    """An in-flight transmission's allocation lineage: its tx-done was
+    allocated at the transmission start, by the event whose own
+    allocation the packet carries in ``alloc_ps`` — with two more
+    carried allocator levels below."""
+    return [(cur.tx_start_ps, None),
+            (cur.alloc_ps,
+             cur.rank_seq if cur.arrival_ps == cur.tx_start_ps else None),
+            (cur.alloc2_ps, None), (cur.alloc3_ps, None)]
+
+
+#: identity sets for classifying heap-top callbacks (filled lazily —
+#: port.py imports this module, so the import must not be circular)
+_ENQUEUE_FNS: tuple = ()
+_TX_DONE_FNS: tuple = ()
+
+
+def _event_fn_sets():
+    global _ENQUEUE_FNS, _TX_DONE_FNS
+    from repro.core.port import BasePort, PfabricPort, PullPort, QueuedPort
+    _ENQUEUE_FNS = (QueuedPort.enqueue, PfabricPort.enqueue)
+    _TX_DONE_FNS = (QueuedPort._tx_done, PullPort._tx_done,
+                    BasePort._tx_done)
+    return _ENQUEUE_FNS, _TX_DONE_FNS
+
+
+def _top_lineage(fn, arg, now: int, funnel: int):
+    """Lineage of a heap-top event for the rank-turn walk, or one of
+    the sentinels: ``_PRECEDES`` for kinds whose allocation long
+    predates any lineage here (timers, application arrivals — the slow
+    path runs them first), ``_FOLLOWS`` for unrankable leftovers.
+    Callbacks are classified by function identity, so a rename or a
+    new same-named callback cannot silently misclassify."""
+    if fn is _wire_done:
+        o = arg.hops
+        j = len(o) - _HOP
+        return [(o[j + 1], None)] + _chain_lineage(arg, j)
+    if fn is _launch:
+        return _chain_lineage(arg, len(arg.hops) - _HOP)
+    if fn is _mat_done:
+        cur = arg.cur_pkt
+        if cur is None:
+            return _FOLLOWS
+        return _tx_lineage(cur)
+    func = getattr(fn, "__func__", None)
+    enq, txd = (_ENQUEUE_FNS, _TX_DONE_FNS) if _ENQUEUE_FNS \
+        else _event_fn_sets()
+    if type(arg) is Packet:
+        if func in enq:
+            return _pkt_lineage(arg, funnel)
+        # A host delivery: allocated one software delay ago.
+        sw = getattr(getattr(fn, "__self__", None), "software_delay_ps", None)
+        if sw is None:
+            return _PRECEDES
+        return [(now - sw, None)]
+    if arg is None and func in txd:
+        cur = fn.__self__.cur_pkt
+        if cur is None:
+            return _FOLLOWS
+        return _tx_lineage(cur)
+    return _PRECEDES
+
+
+_PRECEDES = object()
+_FOLLOWS = object()
+
+
+def _rank_turn(chain, sim, now, idx, root_ps, cb) -> bool:
+    """Rank repair: yield to a same-instant heap event the slow path
+    would have processed first (its allocation lineage compares
+    earlier), by re-pushing the continuation with a fresh seq.  Returns
+    True when it is the chain's turn.  This is what keeps same-instant
+    allocation order — and through it delivery order, FIFO order, and
+    the shared spray RNG stream — identical to the slow path.
+    Lineages are only materialized when a same-instant top exists (the
+    uncommon case); ``root_ps`` prepends the tx-done level for a chain
+    ending at its wire-done."""
+    heap = sim._heap
+    while heap:
+        top = heap[0]
+        if top[0] != now:
+            return True
+        fn = top[2]
+        if fn is None:
+            heappop(heap)
+            continue
+        tl = _top_lineage(fn, top[3], now,
+                          now - chain.hops[-_HOP].in_delay_ps)
+        if tl is _FOLLOWS:
+            return True
+        if tl is not _PRECEDES:
+            my = _chain_lineage(chain, idx)
+            if root_ps is not None:
+                my.insert(0, (root_ps, None))
+            if not _earlier(tl, my):
+                return True
+        sim._seq += 1
+        event = [now, sim._seq, cb, chain]
+        heappush(heap, event)
+        chain.event = event
+        return False
+    return True
+
+
+def _wire_done(chain: CutChain) -> None:
+    """End of a chain's last reserved hop: the packet has fully
+    arrived there.  After taking its rank turn (so the hand-off is
+    allocated in slow-path order), retire the reservations, restore
+    the packet's lineage stamps as if the last hop had been a real
+    pass-through transmission, and deliver — into the next switch's
+    ingress for a mid-path chain, or the host ingress (which allocates
+    the software-delay delivery, exactly where the slow path allocates
+    it) for a completed one."""
+    hops = chain.hops
+    port = hops[-_HOP]
+    sim = chain.sim
+    now = sim.now
+    chain.event = None  # mark fired: a same-instant divert must re-arm
+    idx = len(hops) - _HOP
+    heap = sim._heap
+    if heap and heap[0][0] == now:
+        if not _rank_turn(chain, sim, now, idx, hops[idx + 1], _wire_done):
+            return
+    pkt = chain.pkt
+    for i in range(0, len(hops), _HOP):
+        p = hops[i]
+        if p.res_chain is chain:
+            p.res_chain = None
+    s_last = hops[-2]
+    if idx == 0:
+        pkt.rank_seq = chain.plan_seq
+        pkt.alloc2_ps = pkt.tx_start_ps
+        pkt.alloc3_ps = pkt.alloc_ps
+    else:
+        pkt.rank_seq = RANK_UNKNOWN
+        pkt.alloc2_ps = hops[idx - 2]
+        pkt.alloc3_ps = hops[idx - 2] - port.in_delay_ps
+    pkt.tx_start_ps = s_last
+    pkt.alloc_ps = s_last - port.in_delay_ps
+    pkt.arrival_ps = s_last
+    port.deliver(pkt)
+
+
+def _launch(chain: CutChain) -> None:
+    """Start of a diverted chain's re-entry hop reached: after taking
+    its rank turn, hand the packet back to the port — a plain enqueue
+    when an interloper already holds the link (the packet queues at
+    its exact slow-path arrival instant), or a materialized
+    transmission when the port turned out clean after all."""
+    hops = chain.hops
+    port = hops[-_HOP]
+    sim = chain.sim
+    now = sim.now
+    chain.event = None  # mark fired: a same-instant divert must re-arm
+    idx = len(hops) - _HOP
+    if not _rank_turn(chain, sim, now, idx, None, _launch):
+        return
+    if (port.busy or port._nonempty or port._paused
+            or port.probe is not None or port.trace_delays):
+        chain.reenter(idx)
+        return
+    pkt = chain.pkt
+    for i in range(0, len(hops), _HOP):
+        p = hops[i]
+        if p.res_chain is chain:
+            p.res_chain = None
+    old_tx, old_alloc = pkt.tx_start_ps, pkt.alloc_ps
+    # The real tx-done re-credits what planning already counted.
+    port.tx_packets -= 1
+    port.tx_wire_bytes -= pkt.wire
+    port._materialize(pkt, now, hops[-1])
+    if idx == 0:
+        pkt.rank_seq = chain.plan_seq
+        pkt.alloc2_ps = old_tx
+        pkt.alloc3_ps = old_alloc
+    else:
+        pkt.alloc2_ps = hops[idx - 2]
+        pkt.alloc3_ps = hops[idx - 2] - port.in_delay_ps
+
+
+def run_late_mats(sim, now: int, cur) -> None:
+    """Called by a firing real tx-done when the heap top is a pending
+    same-instant ``_mat_done``: a mid-window materialization's
+    completion carries a late seq, and when its lineage says the slow
+    path would have completed it before this tx-done, run it inline
+    first so the two completions' downstream allocations keep their
+    slow-path order."""
+    heap = sim._heap
+    while heap:
+        top = heap[0]
+        if top[0] != now or top[2] is not _mat_done:
+            break
+        port2 = top[3]
+        if (port2.mat_tx is not top or port2.cur_pkt is None
+                or not _earlier(_tx_lineage(port2.cur_pkt),
+                                _tx_lineage(cur))):
+            break
+        port2.mat_tx = None
+        Simulator.cancel(top)
+        port2._tx_done()
+
+
+def _mat_done(port) -> None:
+    """Completion of a *mid-window* materialized transmission.  Its
+    event seq dates from the conflict that materialized it, not from
+    the transmission start the slow path allocated at, so before
+    completing it takes a rank turn against same-instant events —
+    in particular other late materializations — using the packet's
+    carried lineage.  (Events allocated before the conflict still fire
+    first regardless; the enqueue-side replay in QueuedPort covers the
+    arrivals among them.)"""
+    sim = port.sim
+    now = sim.now
+    heap = sim._heap
+    cur = port.cur_pkt
+    lineage = _tx_lineage(cur)
+    funnel = now - port.in_delay_ps
+    while heap:
+        top = heap[0]
+        if top[0] != now:
+            break
+        fn = top[2]
+        if fn is None:
+            heappop(heap)
+            continue
+        tl = _top_lineage(fn, top[3], now, funnel)
+        if tl is _FOLLOWS:
+            break
+        if tl is _PRECEDES or _earlier(tl, lineage):
+            sim._seq += 1
+            event = [now, sim._seq, _mat_done, port]
+            heappush(heap, event)
+            port.mat_tx = event
+            if port.preemptive:
+                port._tx_event = event
+            return
+        break
+    port.mat_tx = None
+    port._tx_done()
+
+
+# The per-hop fast-path predicate, inlined below for speed — KEEP IN
+# SYNC with BasePort.cut_ready: structurally eligible port (no
+# buffers/ECN/trim/pFabric; ideal preemption is allowed — a preempting
+# arrival materializes the reservation first), idle link, empty queues,
+# no pending scheduled arrival (strict: a same-instant arrival keeps
+# the slow path), no observers, no paused preempted packet, no live
+# reservation.  The owning switch must also be filter-free.  The first
+# port of each planner skips the ``busy`` check: the fused ingress only
+# calls a planner after finding its routed egress idle.
+
+
+def _install(sim, pkt, hops, stats, n) -> None:
+    """Create the chain, reserve the hops, credit the counters, and
+    schedule the wire-done at the last hop's end (unrolled per arity —
+    this runs once per chain, i.e. per idle-path packet)."""
+    chain = CutChain.__new__(CutChain)
+    chain.sim = sim
+    chain.pkt = pkt
+    chain.hops = hops
+    chain.stats = stats
+    sim._seq += 1
+    seq = sim._seq
+    chain.plan_seq = seq
+    time_ps = hops[-1]
+    event = [time_ps, seq, _wire_done, chain]
+    chain.event = event
+    if time_ps < sim._horizon:
+        heappush(sim._heap, event)
+    else:
+        sim._file_far(event, time_ps)
+    wire = pkt.wire
+    port = hops[0]
+    port.res_chain = chain
+    port.res_idx = 0
+    port.res_start_ps = hops[1]
+    port.res_end_ps = hops[2]
+    port.tx_packets += 1
+    port.tx_wire_bytes += wire
+    if n > 1:
+        port = hops[3]
+        port.res_chain = chain
+        port.res_idx = 3
+        port.res_start_ps = hops[4]
+        port.res_end_ps = hops[5]
+        port.tx_packets += 1
+        port.tx_wire_bytes += wire
+        if n > 2:
+            port = hops[6]
+            port.res_chain = chain
+            port.res_idx = 6
+            port.res_start_ps = hops[7]
+            port.res_end_ps = hops[8]
+            port.tx_packets += 1
+            port.tx_wire_bytes += wire
+    stats[STAT_CHAINS] += 1
+    stats[STAT_HOPS] += n
+
+
+def plan_from_tor(sim, pkt, now, stats, tor, up_port,
+                  aggr, aggr_port, rtor, down_port) -> bool:
+    """Chain a cross-rack traversal from the sender's TOR: the idle
+    uplink, plus the aggregation downlink and the receiver downlink
+    when they are idle and clean too."""
+    if not (up_port.cut_ok
+            and not up_port._nonempty
+            and now > up_port.last_arrival_ps
+            and up_port.probe is None
+            and not up_port.trace_delays
+            and not up_port._paused
+            and (up_port.res_chain is None or up_port.res_end_ps <= now)):
+        return False
+    wire = pkt.wire
+    s0 = now + tor.delay_ps
+    e0 = s0 + wire * up_port.ppb
+    if not (aggr_port.cut_ok
+            and not aggr_port.busy
+            and not aggr_port._nonempty
+            and now > aggr_port.last_arrival_ps
+            and aggr_port.probe is None
+            and not aggr_port.trace_delays
+            and not aggr_port._paused
+            and (aggr_port.res_chain is None or aggr_port.res_end_ps <= now)
+            and aggr.drop_filter is None):
+        _install(sim, pkt, [up_port, s0, e0], stats, 1)
+        return True
+    s1 = e0 + aggr.delay_ps
+    e1 = s1 + wire * aggr_port.ppb
+    if (wire <= TAIL_HOP_MAX_WIRE
+            and down_port.cut_ok
+            and not down_port.busy
+            and not down_port._nonempty
+            and now > down_port.last_arrival_ps
+            and down_port.probe is None
+            and not down_port.trace_delays
+            and not down_port._paused
+            and (down_port.res_chain is None or down_port.res_end_ps <= now)
+            and rtor.drop_filter is None):
+        s2 = e1 + rtor.delay_ps
+        hops = [up_port, s0, e0, aggr_port, s1, e1,
+                down_port, s2, s2 + wire * down_port.ppb]
+        n = 3
+    else:
+        hops = [up_port, s0, e0, aggr_port, s1, e1]
+        n = 2
+    _install(sim, pkt, hops, stats, n)
+    return True
+
+
+def plan_from_aggr(sim, pkt, now, stats, aggr, down_port,
+                   rtor, tor_port) -> bool:
+    """Chain the tail of a traversal from an aggregation switch: the
+    idle aggregation downlink, plus the receiver downlink when it is
+    idle and clean too."""
+    if not (down_port.cut_ok
+            and not down_port._nonempty
+            and now > down_port.last_arrival_ps
+            and down_port.probe is None
+            and not down_port.trace_delays
+            and not down_port._paused
+            and (down_port.res_chain is None or down_port.res_end_ps <= now)):
+        return False
+    wire = pkt.wire
+    s0 = now + aggr.delay_ps
+    e0 = s0 + wire * down_port.ppb
+    if (wire <= TAIL_HOP_MAX_WIRE
+            and tor_port.cut_ok
+            and not tor_port.busy
+            and not tor_port._nonempty
+            and now > tor_port.last_arrival_ps
+            and tor_port.probe is None
+            and not tor_port.trace_delays
+            and not tor_port._paused
+            and (tor_port.res_chain is None or tor_port.res_end_ps <= now)
+            and rtor.drop_filter is None):
+        s1 = e0 + rtor.delay_ps
+        hops = [down_port, s0, e0, tor_port, s1,
+                s1 + wire * tor_port.ppb]
+        n = 2
+    else:
+        hops = [down_port, s0, e0]
+        n = 1
+    _install(sim, pkt, hops, stats, n)
+    return True
+
+
+def plan_local(sim, pkt, now, stats, tor, down_port) -> bool:
+    """Chain an intra-rack delivery over the idle receiver downlink:
+    one hop, but the wire-done still folds the arrival and tx-done
+    events into one."""
+    if not (down_port.cut_ok
+            and not down_port._nonempty
+            and now > down_port.last_arrival_ps
+            and down_port.probe is None
+            and not down_port.trace_delays
+            and not down_port._paused
+            and (down_port.res_chain is None or down_port.res_end_ps <= now)):
+        return False
+    s0 = now + tor.delay_ps
+    _install(sim, pkt, [down_port, s0, s0 + pkt.wire * down_port.ppb],
+             stats, 1)
+    return True

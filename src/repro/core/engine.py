@@ -135,6 +135,22 @@ class Simulator:
             self._file_far(event, time_ps)
         return event
 
+    def schedule_at1(self, time_ps: int, fn: Callable, arg: Any) -> Event:
+        """``schedule_at`` specialised to one non-None, non-tuple argument.
+
+        Used by the cut-through fast path (core/cutthrough.py) for
+        chain continuations at analytically computed absolute times —
+        never in the past (same-instant re-arms are allowed), so no
+        past-check is needed.
+        """
+        self._seq += 1
+        event: Event = [time_ps, self._seq, fn, arg]
+        if time_ps < self._horizon:
+            heappush(self._heap, event)
+        else:
+            self._file_far(event, time_ps)
+        return event
+
     def _file_far(self, event: Event, time_ps: int) -> None:
         """Park an event beyond the heap horizon in the right wheel.
 

@@ -304,71 +304,120 @@ def run(spec: CampaignSpec, *, jobs: int | None = None, fresh: bool = False,
     """Execute a campaign; returns decoded results in cell order.
 
     ``fresh=True`` bypasses cache lookups (results are still stored, so
-    a fresh run repopulates the cache).
+    a fresh run repopulates the cache).  One campaign is simply a
+    single-member pool — `run_pooled` holds the only copy of the
+    scheduling/caching/failure machinery.
+    """
+    results = run_pooled([spec], jobs=jobs, fresh=fresh,
+                         cache_dir=cache_dir, quiet=True)[spec.name]
+    if not quiet:
+        print(f"[campaign {spec.name}] {len(spec.cells)} cells: "
+              f"{results.computed} computed, {results.cached} cached "
+              f"(jobs={results.jobs}, {results.wall_seconds:.1f}s)",
+              file=sys.stderr)
+    return results
+
+
+def _cell_cost(cell: Cell) -> float:
+    """Scheduling weight for the global queue: an estimate of one
+    cell's simulated work.  Exact values do not matter — only that the
+    heavy-tailed cells (W5 grids dominate every campaign) start first,
+    so the pool does not end with one straggler.  Cells whose spec is
+    not an ``ExperimentConfig`` (custom tasks: the incast cell, the
+    max-load sweep) are scheduled first: they are the long speculative
+    ones."""
+    spec = cell.spec
+    if isinstance(spec, ExperimentConfig):
+        return ((spec.duration_ms + spec.drain_ms)
+                * spec.racks * spec.hosts_per_rack * spec.load)
+    return float("inf")
+
+
+def run_pooled(specs: list[CampaignSpec], *, jobs: int | None = None,
+               fresh: bool = False,
+               cache_dir: str | os.PathLike | None = None,
+               quiet: bool = False) -> dict[str, CampaignResults]:
+    """Execute several campaigns as one global work queue.
+
+    ``repro campaign all`` used to run figure modules one after
+    another, so a sharded pool drained each figure's skewed grid
+    separately and workers idled at every figure boundary.  Here the
+    *pending* cells of every campaign are pooled and dispatched
+    largest-cell-first over a single executor; results land in each
+    campaign's cache exactly as the per-figure path stores them (same
+    cache keys, same payloads), so decoded results — and therefore
+    slowdown digests — are byte-identical to running each figure
+    alone.  Returns ``{campaign name: CampaignResults}``.
     """
     jobs = resolve_jobs(jobs)
     cache = ResultCache(cache_dir)
     start = time.monotonic()
 
-    payloads: dict[Hashable, Any] = {}
-    pending: list[tuple[Cell, Path]] = []
-    for cell in spec.cells:
-        path = cache.path_for(spec.name, cell)
-        payload = None if fresh else cache.load(path)
-        if payload is None:
-            pending.append((cell, path))
-        else:
-            payloads[cell.key] = payload
+    payloads: dict[str, dict[Hashable, Any]] = {s.name: {} for s in specs}
+    pending: list[tuple[str, Cell, Path]] = []
+    for spec in specs:
+        for cell in spec.cells:
+            path = cache.path_for(spec.name, cell)
+            payload = None if fresh else cache.load(path)
+            if payload is None:
+                pending.append((spec.name, cell, path))
+            else:
+                payloads[spec.name][cell.key] = payload
+    pending.sort(key=lambda item: _cell_cost(item[1]), reverse=True)
 
     if pending and jobs == 1:
-        for cell, path in pending:
+        for name, cell, path in pending:
             try:
                 payload = _run_cell(cell.task, cell.spec)
             except Exception as exc:
-                raise CampaignCellError(spec.name, cell, exc) from exc
-            cache.store(path, spec.name, cell, payload)
-            payloads[cell.key] = payload
+                raise CampaignCellError(name, cell, exc) from exc
+            cache.store(path, name, cell, payload)
+            payloads[name][cell.key] = payload
     elif pending:
         with ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending)),
                 initializer=_init_worker,
                 initargs=(list(sys.path),)) as pool:
             futures = {pool.submit(_run_cell, cell.task, cell.spec):
-                       (cell, path) for cell, path in pending}
+                       (name, cell, path) for name, cell, path in pending}
             wait(futures, return_when=FIRST_EXCEPTION)
-            # Cache every completed sibling before surfacing a failure,
-            # so a crashed cell never discards finished simulations and
-            # the retry costs one cell, exactly like the serial path.
-            failed: tuple[Cell, BaseException] | None = None
-            for future, (cell, path) in futures.items():
+            failed: tuple[str, Cell, BaseException] | None = None
+            for future, (name, cell, path) in futures.items():
                 if not future.done() or future.cancelled():
                     continue
                 exc = future.exception()
                 if exc is not None:
-                    failed = failed or (cell, exc)
+                    failed = failed or (name, cell, exc)
                     continue
                 payload = future.result()
-                cache.store(path, spec.name, cell, payload)
-                payloads[cell.key] = payload
+                cache.store(path, name, cell, payload)
+                payloads[name][cell.key] = payload
             if failed is not None:
                 pool.shutdown(cancel_futures=True)
-                cell, exc = failed
-                raise CampaignCellError(spec.name, cell, exc) from exc
+                name, cell, exc = failed
+                raise CampaignCellError(name, cell, exc) from exc
 
-    results = CampaignResults(
-        (cell.key, _resolve(cell.decode)(payloads[cell.key]))
-        for cell in spec.cells)
-    results.name = spec.name
-    results.jobs = jobs
-    results.computed = len(pending)
-    results.cached = len(spec.cells) - len(pending)
-    results.wall_seconds = time.monotonic() - start
+    wall = time.monotonic() - start
+    out: dict[str, CampaignResults] = {}
+    computed = {name: 0 for name in payloads}
+    for name, _, _ in pending:
+        computed[name] += 1
+    for spec in specs:
+        results = CampaignResults(
+            (cell.key, _resolve(cell.decode)(payloads[spec.name][cell.key]))
+            for cell in spec.cells)
+        results.name = spec.name
+        results.jobs = jobs
+        results.computed = computed[spec.name]
+        results.cached = len(spec.cells) - computed[spec.name]
+        results.wall_seconds = wall
+        out[spec.name] = results
     if not quiet:
-        print(f"[campaign {spec.name}] {len(spec.cells)} cells: "
-              f"{results.computed} computed, {results.cached} cached "
-              f"(jobs={jobs}, {results.wall_seconds:.1f}s)",
-              file=sys.stderr)
-    return results
+        total = sum(len(s.cells) for s in specs)
+        print(f"[campaign pool] {len(specs)} campaigns, {total} cells: "
+              f"{len(pending)} computed, {total - len(pending)} cached "
+              f"(jobs={jobs}, {wall:.1f}s)", file=sys.stderr)
+    return out
 
 
 def slowdown_digest(results: Mapping[Hashable, ExperimentResult]) -> str:

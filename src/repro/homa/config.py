@@ -76,6 +76,15 @@ class HomaConfig:
     #: drift from the per-packet mode; docs/PERFORMANCE.md documents the
     #: contract and the measured control-packet reduction.
     grant_batch_ns: int = 4000
+    #: count-based grant coalescing (the Linux kernel Homa approach):
+    #: run the ranking pass after every N arriving scheduled data
+    #: packets instead of on a timer.  0 = disabled.  Nonzero takes
+    #: precedence over ``grant_batch_ns``; protocol-critical events
+    #: (new grantable message, freed overcommitment slot, sender window
+    #: exhausted) still grant immediately.  Ablation knob — see
+    #: ``benchmarks/bench_ablations.py`` and docs/PERFORMANCE.md for
+    #: the comparison against the timer-based pacer.
+    grant_batch_pkts: int = 0
 
     def resolved_unsched_limit(self, rtt_bytes: int) -> int:
         """Unscheduled byte limit, packet-aligned unless overridden."""

@@ -28,8 +28,8 @@ from heapq import heapify, heappop, heappush, heapreplace
 from typing import Callable, Optional
 
 from repro.core.engine import CoalescingTimer, Simulator
-from repro.core.packet import (CTRL_PRIO, MAX_PAYLOAD, MIN_WIRE, Packet,
-                               PacketType)
+from repro.core.packet import (ALLOC_UNKNOWN, CTRL_PRIO, MAX_PAYLOAD,
+                               MIN_WIRE, Packet, PacketType)
 from repro.core.units import NS, ps_per_byte
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import (
@@ -101,7 +101,11 @@ class HomaTransport(Transport):
         # one batch interval of line-rate bytes — otherwise the sender's
         # window hits zero between ticks and large-message throughput
         # drops by ~tick/RTT (see docs/PERFORMANCE.md).
-        if cfg.grant_batch_ns:
+        if cfg.grant_batch_pkts:
+            # Count-based coalescing: the emission delay is at worst N
+            # packet serializations, so the window covers N payloads.
+            batch_slack = cfg.grant_batch_pkts * MAX_PAYLOAD
+        elif cfg.grant_batch_ns:
             batch_slack = -(-(cfg.grant_batch_ns * NS)
                             // ps_per_byte(link_gbps))
         else:
@@ -141,7 +145,11 @@ class HomaTransport(Transport):
         # None = legacy per-packet grants, byte-identical to the seed.
         self._grant_timer = (
             CoalescingTimer(sim, cfg.grant_batch_ns * NS, self._grant_tick)
-            if cfg.grant_batch_ns else None)
+            if cfg.grant_batch_ns and not cfg.grant_batch_pkts else None)
+        # Count-based coalescing (grant_batch_pkts > 0, the Linux
+        # kernel's approach): a data-arrival counter replaces the timer.
+        self._grant_batch_pkts = cfg.grant_batch_pkts
+        self._data_since_grant = 0
         #: server application: fn(transport, server_rpc) -> None.
         #: When unset, inbound requests are treated as one-way messages.
         self.rpc_handler: Optional[Callable[["HomaTransport", ServerRpc], None]] = None
@@ -365,7 +373,21 @@ class HomaTransport(Transport):
                 self._prune_grant_heap()
         pacer = self._grant_timer
         if pacer is None:
-            self._schedule_grants(msg)
+            n = self._grant_batch_pkts
+            if n:
+                # Count-based coalescing: one ranking pass per N data
+                # arrivals.  Protocol-critical events — a new grantable
+                # message or freed overcommitment slot (both set
+                # _grant_dirty) and an exhausted sender window — still
+                # grant immediately, as the kernel implementation does.
+                self._data_since_grant += 1
+                if (self._data_since_grant >= n or self._grant_dirty
+                        or msg.received.total >= msg.granted):
+                    self._data_since_grant = 0
+                    self.grant_ticks += 1
+                    self._schedule_grants()
+            else:
+                self._schedule_grants(msg)
         elif self._grantable:
             # Batched mode: mark grant-dirty work by arming the pacer —
             # covers both "this message can take a further grant" and
@@ -553,7 +575,14 @@ class HomaTransport(Transport):
         pkt.cutoffs = cutoffs
         pkt.app_meta = None
         pkt.created_ps = 0
-        pkt.enq_ps = 0
+        pkt.tx_start_ps = 0
+        pkt.alloc_ps = ALLOC_UNKNOWN
+        pkt.alloc2_ps = ALLOC_UNKNOWN
+        pkt.alloc3_ps = ALLOC_UNKNOWN
+        pkt.arrival_ps = 0
+        pkt.rank_seq = 0
+        pkt.prev_arrival_ps = 0
+        pkt.prev_rank_seq = 0
         pkt.q_wait = 0
         pkt.p_wait = 0
         pkt.msg_key = (msg.rpc_id << 1) | (1 if msg.is_request else 0)
