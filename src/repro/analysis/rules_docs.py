@@ -1,0 +1,87 @@
+"""Config/doc drift.
+
+Every ``HomaConfig`` and ``NetworkConfig`` field must be mentioned
+somewhere in the repo's markdown (README/docs/**).  The canonical field
+reference is docs/CONFIG.md; this rule is what keeps it from rotting
+when someone adds a knob.
+
+Bidirectional: table rows in docs/CONFIG.md that name a field which no
+longer exists are flagged too (``stale-doc``), so renames cannot leave
+ghost documentation behind.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Finding, Project, rule
+
+#: class names whose fields constitute the user-facing config surface
+CONFIG_CLASS_NAMES = ("HomaConfig", "NetworkConfig")
+
+#: the canonical field-reference document (checked bidirectionally)
+CONFIG_DOC = "docs/CONFIG.md"
+
+_TABLE_FIELD_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`")
+
+
+@rule("doc-drift")
+def check_doc_drift(project: Project) -> list[Finding]:
+    """HomaConfig/NetworkConfig fields must appear in the markdown docs.
+
+    Forward: each dataclass field name must occur (as a whole word) in
+    some ``*.md`` under the repo root or docs/.  Reverse: each
+    backticked field in a docs/CONFIG.md table row must still exist on
+    one of the config classes.
+    """
+    out: list[Finding] = []
+    all_docs = "\n".join(project.docs.values())
+    known_fields: set[str] = set()
+    for mod in project.modules:
+        for cls_name in CONFIG_CLASS_NAMES:
+            cls = mod.classes.get(cls_name)
+            if cls is None:
+                continue
+            for stmt in cls.body:
+                if not (
+                    isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ) or stmt.target.id.startswith("_"):
+                    continue
+                field = stmt.target.id
+                known_fields.add(field)
+                if not re.search(rf"\b{re.escape(field)}\b", all_docs):
+                    out.append(
+                        Finding(
+                            rule="doc-drift",
+                            path=mod.rel,
+                            line=stmt.lineno,
+                            scope=cls_name,
+                            detail=f"undocumented:{field}",
+                            message=(
+                                f"{cls_name}.{field} is not mentioned in "
+                                f"any markdown doc; add it to {CONFIG_DOC}"
+                            ),
+                        )
+                    )
+    config_doc = project.docs.get(CONFIG_DOC)
+    if config_doc is not None and known_fields:
+        for lineno, line in enumerate(config_doc.splitlines(), start=1):
+            m = _TABLE_FIELD_RE.match(line.strip())
+            if m and m.group(1) not in known_fields:
+                out.append(
+                    Finding(
+                        rule="doc-drift",
+                        path=CONFIG_DOC,
+                        line=lineno,
+                        scope="<doc>",
+                        detail=f"stale-doc:{m.group(1)}",
+                        message=(
+                            f"{CONFIG_DOC} documents field "
+                            f"{m.group(1)!r} which exists on neither "
+                            f"{' nor '.join(CONFIG_CLASS_NAMES)}"
+                        ),
+                    )
+                )
+    return out

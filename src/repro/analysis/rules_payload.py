@@ -1,0 +1,281 @@
+"""Payload round-trip exhaustiveness.
+
+The PR 2 campaign cache persists results through ``to_payload`` /
+``from_payload`` pairs; a field written but never read (or a dataclass
+field never written) silently corrupts cache hits — the run "succeeds"
+with a default where measured data should be.  This rule statically
+recovers both key sets and the dataclass field set and requires all
+three to agree.
+
+Recognized write forms in ``to_payload``::
+
+    return {"a": ..., "b": ...}          # explicit key set
+    payload = {"a": ...}; return payload # via a local name
+    return asdict(self)                  # ALL dataclass fields
+
+Recognized read forms in ``from_payload``::
+
+    payload["a"] / payload.get("a") / data.pop("a")
+    cls(**data)                          # ALL remaining keys
+
+A ``to_payload`` whose written keys cannot be recovered statically
+(e.g. dict built in a loop) is an ``opaque`` finding — restructure it
+or waive with a pragma explaining why it is exhaustive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import Finding, Module, Project, rule
+
+_ALL = "<all>"
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        node = deco.func if isinstance(deco, ast.Call) else deco
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if "ClassVar" in ast.dump(stmt.annotation):
+                continue
+            if not stmt.target.id.startswith("_"):
+                fields.append(stmt.target.id)
+    return fields
+
+
+def _dict_keys(node: ast.Dict) -> Optional[set[str]]:
+    keys: set[str] = set()
+    for k in node.keys:
+        if k is None:  # ** unpack — opaque
+            return None
+        if isinstance(k, ast.Constant) and isinstance(k.value, str):
+            keys.add(k.value)
+        else:
+            return None
+    return keys
+
+
+def _written_keys(fn: ast.FunctionDef) -> Optional[set[str]]:
+    """Keys written by to_payload; {_ALL} for asdict(self); None if opaque."""
+    # local name -> dict-literal keys, for `payload = {...}; return payload`
+    assigned: dict[str, Optional[set[str]]] = {}
+    written: set[str] = set()
+    saw_return = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Dict):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    assigned[tgt.id] = _dict_keys(node.value)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in assigned
+            and isinstance(node.ctx, ast.Store)
+        ):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                keys = assigned[node.value.id]
+                if keys is not None:
+                    keys.add(node.slice.value)
+            else:
+                # dynamic key (out[k] = ...): written set unknowable
+                assigned[node.value.id] = None
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        saw_return = True
+        value = node.value
+        if isinstance(value, ast.Dict):
+            keys = _dict_keys(value)
+            if keys is None:
+                return None
+            written |= keys
+        elif isinstance(value, ast.Call):
+            fname = value.func.attr if isinstance(value.func, ast.Attribute) else getattr(value.func, "id", None)
+            if fname == "asdict":
+                written.add(_ALL)
+            else:
+                return None
+        elif isinstance(value, ast.Name) and value.id in assigned:
+            keys = assigned[value.id]
+            if keys is None:
+                return None
+            written |= keys
+        else:
+            return None
+    return written if saw_return else None
+
+
+def _payload_aliases(fn: ast.FunctionDef) -> set[str]:
+    """Names that refer to the payload dict: the parameter itself plus
+    locals assigned from it via ``dict(payload)`` / ``payload.copy()`` /
+    plain rebinding.  Only accesses through these names count as reads —
+    ``homa.get("cutoff_override")`` on a *nested* sub-dict is that
+    class's own round-trip, not this one's."""
+    params = [a.arg for a in fn.args.args if a.arg not in ("cls", "self")]
+    tracked = set(params[:1])
+    for _ in range(3):  # fixpoint over chained aliases
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            src: Optional[str] = None
+            if isinstance(value, ast.Name):
+                src = value.id
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+                and len(value.args) == 1
+                and isinstance(value.args[0], ast.Name)
+            ):
+                src = value.args[0].id
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "copy"
+                and isinstance(value.func.value, ast.Name)
+            ):
+                src = value.func.value.id
+            if src in tracked:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        tracked.add(tgt.id)
+    return tracked
+
+
+def _read_keys(fn: ast.FunctionDef) -> Optional[set[str]]:
+    """Keys read by from_payload; includes _ALL for a ``**name`` splat."""
+    tracked = _payload_aliases(fn)
+    read: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in tracked
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+            and isinstance(node.ctx, ast.Load)
+        ):
+            read.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "pop")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in tracked
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            read.add(node.args[0].value)
+        elif isinstance(node, ast.Call) and any(
+            kw.arg is None
+            and isinstance(kw.value, ast.Name)
+            and kw.value.id in tracked
+            for kw in node.keywords
+        ):
+            read.add(_ALL)
+    return read or None
+
+
+@rule("payload-roundtrip")
+def check_payload_roundtrip(project: Project) -> list[Finding]:
+    """Every to_payload/from_payload pair must cover the same field set.
+
+    Three-way check per class: written keys vs read keys vs dataclass
+    fields.  A dataclass field absent from to_payload is the
+    cache-corrupting case (deserialized object silently reverts that
+    field to its default).
+    """
+    out: list[Finding] = []
+    for mod in project.modules:
+        if not mod.rel.startswith("src/repro/"):
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                s.name: s for s in node.body if isinstance(s, ast.FunctionDef)
+            }
+            to_fn = methods.get("to_payload")
+            from_fn = methods.get("from_payload")
+            if to_fn is None or from_fn is None:
+                continue
+
+            def report(anchor: ast.AST, detail: str, msg: str) -> None:
+                out.append(
+                    Finding(
+                        rule="payload-roundtrip",
+                        path=mod.rel,
+                        line=anchor.lineno,
+                        scope=mod.scope_of(anchor),
+                        detail=detail,
+                        message=f"{node.name}: {msg}",
+                    )
+                )
+
+            written = _written_keys(to_fn)
+            read = _read_keys(from_fn)
+            if written is None:
+                report(
+                    to_fn,
+                    "opaque-to_payload",
+                    "cannot statically determine the keys to_payload "
+                    "writes; return a literal dict or asdict(self)",
+                )
+                continue
+            if read is None:
+                report(
+                    from_fn,
+                    "opaque-from_payload",
+                    "cannot statically determine the keys from_payload "
+                    "reads; index/get/pop string keys or splat **data",
+                )
+                continue
+
+            fields = _dataclass_fields(node) if _is_dataclass(node) else None
+            if _ALL in written:
+                written = set(fields or []) or {_ALL}
+            reads_all = _ALL in read
+            read.discard(_ALL)
+
+            if _ALL not in written:
+                if not reads_all:
+                    for f in sorted(written - read):
+                        report(
+                            from_fn,
+                            f"unread:{f}",
+                            f"field {f!r} is written by to_payload but "
+                            f"never read by from_payload (silently dropped "
+                            f"on cache load)",
+                        )
+                for f in sorted(read - written):
+                    report(
+                        to_fn,
+                        f"unwritten:{f}",
+                        f"from_payload reads field {f!r} that to_payload "
+                        f"never writes (KeyError or silent default on "
+                        f"cache load)",
+                    )
+                if fields is not None:
+                    for f in sorted(set(fields) - written):
+                        report(
+                            to_fn,
+                            f"dropped:{f}",
+                            f"dataclass field {f!r} is never serialized by "
+                            f"to_payload — round-trips silently revert it "
+                            f"to its default",
+                        )
+    return out

@@ -1,0 +1,157 @@
+"""Registry consistency.
+
+``transport/registry.py`` is the single place protocols are wired into
+the experiment runner; ``transport/base.py`` defines the hook surface a
+transport must implement (the methods whose body is a bare ``raise
+NotImplementedError``).  This rule recomputes both sides from the AST:
+
+* required hooks = abstract methods on ``Transport`` in base.py;
+* registered transports = ``*Transport`` classes imported by
+  registry.py from ``repro.*`` modules;
+
+and verifies every registered class implements every hook, walking base
+classes transitively through repo-local inheritance (stopping at
+``Transport`` itself, whose raising stubs do not count).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.core import Finding, Module, Project, rule
+
+BASE_REL = "src/repro/transport/base.py"
+REGISTRY_REL = "src/repro/transport/registry.py"
+BASE_CLASS = "Transport"
+
+
+def _module_rel(dotted: str) -> str:
+    return "src/" + dotted.replace(".", "/") + ".py"
+
+
+def _abstract_hooks(cls: ast.ClassDef) -> set[str]:
+    """Methods whose body is (docstring +) a single raise statement."""
+    hooks: set[str] = set()
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.FunctionDef):
+            continue
+        body = stmt.body
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ):
+            body = body[1:]
+        if len(body) == 1 and isinstance(body[0], ast.Raise):
+            hooks.add(stmt.name)
+    return hooks
+
+
+def _imported_classes(mod: Module) -> dict[str, str]:
+    """Local class name -> defining module rel, from repro.* imports."""
+    mapping: dict[str, str] = {}
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = _module_rel(node.module)
+    return mapping
+
+
+def _own_methods(
+    project: Project, rel: str, cls_name: str, seen: set[tuple[str, str]]
+) -> set[str]:
+    """Concrete methods of a class plus its repo-local ancestors,
+    excluding the raising stubs on ``Transport`` itself."""
+    if (rel, cls_name) in seen:
+        return set()
+    seen.add((rel, cls_name))
+    mod = project.by_rel.get(rel)
+    if mod is None:
+        return set()
+    cls = mod.classes.get(cls_name)
+    if cls is None:
+        return set()
+    if cls_name == BASE_CLASS and rel == BASE_REL:
+        # The base's own methods count, minus the abstract stubs.
+        return {
+            s.name for s in cls.body if isinstance(s, ast.FunctionDef)
+        } - _abstract_hooks(cls)
+    methods = {s.name for s in cls.body if isinstance(s, ast.FunctionDef)}
+    imported = _imported_classes(mod)
+    for base in cls.bases:
+        base_name: Optional[str] = (
+            base.id if isinstance(base, ast.Name) else None
+        )
+        if base_name is None:
+            continue
+        if base_name in mod.classes:
+            methods |= _own_methods(project, rel, base_name, seen)
+        elif base_name in imported:
+            methods |= _own_methods(project, imported[base_name], base_name, seen)
+    return methods
+
+
+@rule("registry-hooks")
+def check_registry_hooks(project: Project) -> list[Finding]:
+    """Transports registered in registry.py must implement the base hooks.
+
+    Hook set is derived from Transport's raising stubs in base.py;
+    registration is derived from registry.py's repro-local ``*Transport``
+    imports (ruff's F401 keeps those imports minimal, so import ==
+    registered).
+    """
+    base_mod = project.by_rel.get(BASE_REL)
+    reg_mod = project.by_rel.get(REGISTRY_REL)
+    if base_mod is None or reg_mod is None:
+        return []
+    base_cls = base_mod.classes.get(BASE_CLASS)
+    if base_cls is None:
+        return [
+            Finding(
+                rule="registry-hooks",
+                path=BASE_REL,
+                line=0,
+                scope="<module>",
+                detail="missing-base-class",
+                message=f"expected class {BASE_CLASS} in {BASE_REL}",
+            )
+        ]
+    required = _abstract_hooks(base_cls)
+    out: list[Finding] = []
+    for name, rel in sorted(_imported_classes(reg_mod).items()):
+        if not name.endswith("Transport") or name == BASE_CLASS:
+            continue
+        mod = project.by_rel.get(rel)
+        cls = mod.classes.get(name) if mod else None
+        if cls is None:
+            out.append(
+                Finding(
+                    rule="registry-hooks",
+                    path=REGISTRY_REL,
+                    line=0,
+                    scope="<module>",
+                    detail=f"unresolved:{name}",
+                    message=(
+                        f"registry imports {name} from {rel} but no such "
+                        f"class was found there"
+                    ),
+                )
+            )
+            continue
+        methods = _own_methods(project, rel, name, set())
+        for hook in sorted(required - methods):
+            out.append(
+                Finding(
+                    rule="registry-hooks",
+                    path=rel,
+                    line=cls.lineno,
+                    scope=name,
+                    detail=f"missing-hook:{name}.{hook}",
+                    message=(
+                        f"{name} is registered in transport/registry.py "
+                        f"but does not implement {BASE_CLASS}.{hook}"
+                    ),
+                )
+            )
+    return out

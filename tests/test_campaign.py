@@ -1,6 +1,7 @@
 """Tests for the campaign subsystem: payload round-trips, the shard
 scheduler's determinism, the on-disk cache, and max-load collation."""
 
+import dataclasses
 import json
 
 import pytest
@@ -18,6 +19,8 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.homa.config import HomaConfig
+from repro.metrics.control import ControlTraffic
+from repro.metrics.queues import QueueLevelStats
 from repro.metrics.slowdown import SlowdownTracker
 
 
@@ -70,6 +73,58 @@ def test_result_payload_round_trip_is_exact():
         == [(r.label, r.mean_kb, r.max_kb) for r in result.queue_rows]
     assert back.total_utilization == result.total_utilization
     assert back.delay_breakdown == result.delay_breakdown
+
+
+def test_payload_round_trip_covers_every_field():
+    """Dynamic complement of simlint's static payload-roundtrip rule:
+    set EVERY dataclass field of ExperimentConfig and ExperimentResult
+    to a non-default value and require an exact JSON round-trip.  A
+    field silently dropped by a to_payload/from_payload pair corrupts
+    the on-disk campaign cache — the rerun "hits" with a default where
+    measured data should be — and this test fails loudly the moment a
+    new field is added without extending both the pair and this test."""
+    cfg = ExperimentConfig(
+        protocol="pfabric", workload="W4", load=0.55, racks=2,
+        hosts_per_rack=3, aggrs=1, duration_ms=2.5, warmup_ms=0.5,
+        drain_ms=1.5, seed=7, mode="rpc_echo", max_messages=9,
+        homa=HomaConfig(n_prios=4, cutoff_override=(100, 16129)),
+        collect=("queues",), net_overrides={"cut_through": True})
+    cfg_defaults = ExperimentConfig()
+    for f in dataclasses.fields(ExperimentConfig):
+        assert getattr(cfg, f.name) != getattr(cfg_defaults, f.name), (
+            f"fixture must set a non-default {f.name} "
+            f"(new field? extend this test and the payload pair)")
+    back = ExperimentConfig.from_payload(
+        json.loads(json.dumps(cfg.to_payload())))
+    assert back == cfg
+
+    tracker = SlowdownTracker.from_payload(
+        {"warmup_ps": 123, "sizes": [100, 200], "slowdowns": [1.5, 2.5]})
+    result = ExperimentResult(
+        cfg=cfg, tracker=tracker, submitted=5, completed=4, pending=1,
+        sim_time_ms=3.5, events=999, wall_seconds=0.25,
+        queue_rows=[QueueLevelStats(
+            label="TOR->host", mean_kb=1.5, max_kb=9.0)],
+        prio_fractions=[0.25, 0.75], wasted_fraction=0.1,
+        total_utilization=0.8, app_utilization=0.7,
+        delay_breakdown=(1.25, 2.5), aborted=2,
+        control=ControlTraffic(grants=3, resends=2, busys=1,
+                               grant_ticks=4),
+        backlog_mid_bytes=11, backlog_end_bytes=22)
+    for f in dataclasses.fields(ExperimentResult):
+        if f.default is not dataclasses.MISSING:
+            assert getattr(result, f.name) != f.default, (
+                f"fixture must set a non-default {f.name}")
+        elif f.default_factory is not dataclasses.MISSING:
+            assert getattr(result, f.name) != f.default_factory(), (
+                f"fixture must set a non-default {f.name}")
+    back = ExperimentResult.from_payload(
+        json.loads(json.dumps(result.to_payload())))
+    assert back.to_payload() == result.to_payload()
+    assert back.cfg == cfg
+    assert isinstance(back.delay_breakdown, tuple)
+    assert isinstance(back.cfg.collect, tuple)
+    assert back.control == result.control
 
 
 def test_tracker_from_payload_reports_without_net():
