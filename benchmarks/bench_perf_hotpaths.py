@@ -25,10 +25,20 @@ scenario in both modes and records the reduction (grant counts are
 deterministic, so one run per mode suffices) under the
 ``grant_batching`` key of ``BENCH_hotpaths.json``.
 
+``--dispatch-micro`` measures the dispatch-layer primitives that the
+array-core design rests on — storage-layout read costs (slot attribute
+vs list index vs ``array('q')``), queue disciplines (C ``deque`` vs a
+pure-Python ring buffer), event-heap push+pop at the canonical
+scenario's working heap size, and the pooled alloc/free cycle vs plain
+``Packet`` construction.  With ``--smoke`` it also gates CI: the pooled
+control-packet cycle must be strictly cheaper than the keyword-argument
+construction the grant path used before pooling, and the smoke
+scenario's digests must equal the recorded seed digests.
+
 Usage:
     PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
         [--smoke] [--repeats N] [--against-worktree PATH]
-        [--grant-batching]
+        [--grant-batching] [--cut-through] [--dispatch-micro]
 
 ``--smoke`` runs a seconds-long 2-rack variant (no JSON overwrite, no
 speedup claim) so CI catches harness bitrot.
@@ -63,6 +73,22 @@ SMOKE_SCENARIO = dict(protocol="homa", workload="W4", load=0.8,
                       duration_ms=2.0, warmup_ms=0.5, drain_ms=8.0,
                       seed=7, max_messages=150,
                       homa={"grant_batch_ns": 0})
+
+#: seed-code slowdown digests for SMOKE_SCENARIO — the same scenario
+#: (and bytes) tests/test_hotpath_regressions.py pins as GOLDEN_P50/P99.
+#: ``--dispatch-micro --smoke`` asserts digest identity against these.
+SMOKE_P50 = [
+    "1.5009050975091716", "1.1670182719005746", "1.0279255319148937",
+    "1.0441817406143346", "1.1406033720287452", "1.1435432982355214",
+    "1.0559966867005701", "1.0824325191564734", "1.0700807123640126",
+    "1.1932839408099105",
+]
+SMOKE_P99 = [
+    "1.7767629172975146", "1.2863380476441835", "1.598025011635208",
+    "1.806829926099352", "1.4417672882216506", "1.4726971202640802",
+    "1.222181939521681", "1.0980201786448214", "2.0018056622704568",
+    "1.9745655835647904",
+]
 
 
 def build_config(scenario: dict):
@@ -214,6 +240,178 @@ def run_experiment_once(cfg):
     return run_experiment(cfg)
 
 
+class _Ring:
+    """Pure-Python power-of-two ring buffer — the ``array-backed port``
+    candidate the tentpole named.  Measured here against ``deque`` so
+    the choice in ``QueuedPort`` stays evidence-backed (the C deque
+    wins on CPython; see docs/PERFORMANCE.md)."""
+
+    __slots__ = ("buf", "mask", "head", "tail")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.buf = [None] * capacity
+        self.mask = capacity - 1
+        self.head = 0
+        self.tail = 0
+
+    def append(self, item) -> None:
+        self.buf[self.tail & self.mask] = item
+        self.tail += 1
+
+    def popleft(self):
+        head = self.head
+        item = self.buf[head & self.mask]
+        self.head = head + 1
+        return item
+
+
+def _best_ns_per_op(fn, iters: int, repeats: int = 5) -> float:
+    """Minimum over ``repeats`` timed calls of ``fn(iters)``, per op."""
+    import time
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn(iters)
+        dt = time.perf_counter_ns() - t0
+        if best is None or dt < best:
+            best = dt
+    return best / iters
+
+
+def dispatch_micro(smoke: bool = False) -> dict:
+    """Measure the dispatch-layer primitives underpinning the array
+    core.  Reported numbers include the Python loop overhead (the
+    ``loop_baseline`` row), which is identical across rows — the
+    *ratios* between rows are the design evidence."""
+    import gc
+    from array import array
+    from collections import deque
+    from heapq import heappush, heappop
+
+    from repro.core.packet import CTRL_PRIO, Packet, PacketType
+    from repro.core.pool import PacketPool
+
+    iters = 20_000 if smoke else 200_000
+    pkt = Packet(1, 2, PacketType.DATA, payload=1460, rpc_id=7,
+                 offset=11, total_length=99999)
+    lst = list(range(32))
+    arr = array("q", range(32))
+    dq: deque = deque()
+    ring = _Ring(256)
+    pool = PacketPool(prealloc=64)
+    heap: list = []
+    # Canonical-scenario working heap size (measured median ~150); keys
+    # from a fixed multiplicative hash so the sift depth is realistic
+    # rather than sorted-input degenerate.
+    for i in range(150):
+        heappush(heap, [(i * 2654435761) % (1 << 32), i, None, None])
+
+    def read_slot_attr(n):
+        for _ in range(n):
+            pkt.offset; pkt.offset; pkt.offset; pkt.offset  # noqa: B018
+
+    def read_list_index(n):
+        for _ in range(n):
+            lst[7]; lst[7]; lst[7]; lst[7]  # noqa: B018
+
+    def read_array_q(n):
+        for _ in range(n):
+            arr[7]; arr[7]; arr[7]; arr[7]  # noqa: B018
+
+    def loop_baseline(n):
+        for _ in range(n):
+            pkt; pkt; pkt; pkt  # noqa: B018
+
+    def deque_cycle(n):
+        append, popleft = dq.append, dq.popleft
+        for i in range(n):
+            append(i)
+            popleft()
+
+    def ring_cycle(n):
+        for i in range(n):
+            ring.append(i)
+            ring.popleft()
+
+    def packet_ctor(n):
+        for i in range(n):
+            Packet(1, 2, PacketType.DATA, 3, 1460, i, True, 0, 99999,
+                   True, False, False, None, 0, 12345)
+
+    def pool_cycle(n):
+        alloc, free = pool.alloc_data, pool.free
+        for i in range(n):
+            free(alloc(1, 2, 3, 1460, i, True, 0, 99999,
+                       True, False, False, None, 0, 12345))
+
+    def ctrl_ctor_kwargs(n):
+        # Mirrors the pre-pool grant path's call style: keyword-argument
+        # Packet construction for every control packet.
+        for i in range(n):
+            Packet(3, 7, PacketType.GRANT, prio=CTRL_PRIO,
+                   rpc_id=i, is_request=True,
+                   grant_offset=14600, grant_prio=2)
+
+    def ctrl_pool_cycle(n):
+        alloc, free = pool.alloc_ctrl, pool.free
+        for i in range(n):
+            free(alloc(PacketType.GRANT, 3, 7, i, True, 14600, 2))
+
+    def heap_cycle(n):
+        seq = 1 << 33
+        for i in range(n):
+            heappush(heap, [(i * 2654435761) % (1 << 32), seq + i,
+                            None, None])
+            heappop(heap)
+
+    rows = {
+        "loop_baseline": loop_baseline,
+        "slot_attr_read": read_slot_attr,
+        "list_index_read": read_list_index,
+        "array_q_read": read_array_q,
+        "deque_cycle": deque_cycle,
+        "ring_cycle": ring_cycle,
+        "packet_ctor": packet_ctor,
+        "pool_cycle": pool_cycle,
+        "ctrl_ctor_kwargs": ctrl_ctor_kwargs,
+        "ctrl_pool_cycle": ctrl_pool_cycle,
+        "heap_cycle_at_150": heap_cycle,
+    }
+    gc_was = gc.isenabled()
+    gc.disable()
+    try:
+        ns = {name: round(_best_ns_per_op(fn, iters), 2)
+              for name, fn in rows.items()}
+    finally:
+        if gc_was:
+            gc.enable()
+    # The 4x-unrolled read rows measure 4 reads per iteration.
+    for name in ("loop_baseline", "slot_attr_read", "list_index_read",
+                 "array_q_read"):
+        ns[name] = round(ns[name] / 4, 2)
+
+    result = run_experiment_once(build_config(SMOKE_SCENARIO))
+    digest_ok = (
+        [repr(x) for x in result.slowdown_series(50)] == SMOKE_P50
+        and [repr(x) for x in result.slowdown_series(99)] == SMOKE_P99)
+    return {
+        "iters": iters,
+        "ns_per_op": ns,
+        "data_pool_vs_ctor_speedup":
+            round(ns["packet_ctor"] / ns["pool_cycle"], 3),
+        "ctrl_pool_vs_ctor_speedup":
+            round(ns["ctrl_ctor_kwargs"] / ns["ctrl_pool_cycle"], 3),
+        "deque_vs_ring_speedup": round(ns["ring_cycle"] / ns["deque_cycle"], 3),
+        "digest_identical_to_seed": digest_ok,
+        "notes": "ns/op includes Python loop overhead (loop_baseline row);"
+                 " compare rows, not absolutes.  The data-packet pool cycle"
+                 " is roughly cost-neutral vs positional construction (the"
+                 " seed's data path was already positional); the win the CI"
+                 " gate asserts is the control path, where pooling replaced"
+                 " keyword-argument construction per grant.",
+    }
+
+
 def grant_batching_comparison() -> dict:
     """Run SCENARIO with legacy and batched grants; report the cut.
 
@@ -273,6 +471,12 @@ def main(argv=None) -> int:
                              "(canonical scenario updates "
                              "BENCH_hotpaths.json; with --smoke runs the "
                              "CI variant and writes nothing)")
+    parser.add_argument("--dispatch-micro", action="store_true",
+                        help="measure dispatch-layer primitives (storage "
+                             "reads, queue disciplines, heap cycle, pool "
+                             "vs ctor) plus a digest check; with --smoke "
+                             "gates CI and writes nothing, otherwise "
+                             "updates BENCH_hotpaths.json")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
@@ -299,6 +503,24 @@ def main(argv=None) -> int:
             print("FAIL: expected >= 1.3x event reduction with "
                   "byte-identical digests", file=sys.stderr)
         return 0 if ok else 1
+
+    if args.dispatch_micro:
+        micro = dispatch_micro(smoke=args.smoke)
+        print(json.dumps(micro, indent=1))
+        print(f"ctrl pool cycle vs kwargs ctor: "
+              f"{micro['ctrl_pool_vs_ctor_speedup']:.2f}x cheaper "
+              f"(digest identical: {micro['digest_identical_to_seed']})")
+        ok = (micro["digest_identical_to_seed"]
+              and micro["ns_per_op"]["ctrl_pool_cycle"]
+              < micro["ns_per_op"]["ctrl_ctor_kwargs"])
+        if not ok:
+            print("FAIL: pooled ctrl alloc+free must be strictly cheaper "
+                  "than the kwargs Packet construction it replaced, with "
+                  "seed-identical digests", file=sys.stderr)
+            return 1
+        if not args.smoke:
+            _merge_into_results("dispatch_micro", micro)
+        return 0
 
     if args.grant_batching:
         comparison = grant_batching_comparison()

@@ -32,6 +32,7 @@ from repro.analysis import (  # noqa: E402  (registration side effects)
     rules_hotpath,
     rules_payload,
     rules_registry,
+    rules_sched,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "rules_hotpath",
     "rules_payload",
     "rules_registry",
+    "rules_sched",
 ]

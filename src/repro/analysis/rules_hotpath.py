@@ -65,6 +65,13 @@ HOT_FUNCTIONS: dict[str, frozenset[str]] = {
             "Network._make_aggr_ingress.<locals>.ingress",
         }
     ),
+    "src/repro/core/pool.py": frozenset(
+        {
+            "PacketPool.alloc_data",
+            "PacketPool.alloc_ctrl",
+            "PacketPool.free",
+        }
+    ),
     "src/repro/core/cutthrough.py": frozenset(
         {
             "precedes",

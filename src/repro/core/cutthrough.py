@@ -73,13 +73,17 @@ end-of-run accounting is identical either way.
 
 Measured on the canonical 144-host W4@80% scenario the mode elides
 1.37x of all simulation events — but in CPython the chain bookkeeping
-(predicates, reservations, lineage stamps) costs about as much per
-chain as the ~1 µs events it removes, so wall time is ~0.85x there.
-``NetworkConfig.cut_through`` therefore defaults to off; the mode is
-the A/B instrument for the event machinery (``bench_perf_hotpaths.py
---cut-through``) and the wall win is expected only where dispatch
-dominates bookkeeping (JIT runtimes, a future compiled engine).  See
-docs/PERFORMANCE.md for the full measurement and methodology.
+(predicates, reservations, lineage stamps) costs more per chain than
+the events it removes, and the gap *widened* with the array core: the
+pooled dispatch path cut the per-event cost the elision saves (to
+~1.75 µs) while the per-chain planning cost stayed put, so the mode
+now runs ~1.40x *slower* in wall time than the slow path (it was
+~0.85x of wall in the pre-pool tree).  ``NetworkConfig.cut_through`` therefore
+defaults to off; the mode is the A/B instrument for the event
+machinery (``bench_perf_hotpaths.py --cut-through``) and the wall win
+is expected only where dispatch dominates bookkeeping (JIT runtimes, a
+future compiled engine).  See docs/PERFORMANCE.md for the full
+measurement and methodology.
 """
 
 from __future__ import annotations

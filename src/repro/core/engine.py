@@ -257,34 +257,33 @@ class Simulator:
         processed = 0
         if max_events is None:
             # Hot loop: no per-event budget check; the horizon is an
-            # int/inf compare and the empty heap an exception, so the
+            # int/inf compare and the empty heap a truth test, so the
             # per-event cost is index, two compares, pop, dispatch.
             horizon = float("inf") if until_ps is None else until_ps
             while True:
-                try:
+                if heap:
                     event = heap[0]
-                except IndexError:
-                    if not (self._wheel0 or self._wheel1):
+                    fn = event[2]
+                    if fn is None:
+                        pop(heap)
+                        continue
+                    time_ps = event[0]
+                    if time_ps > horizon:
                         break
-                    self._refill()
-                    continue
-                fn = event[2]
-                if fn is None:
                     pop(heap)
-                    continue
-                time_ps = event[0]
-                if time_ps > horizon:
-                    break
-                pop(heap)
-                self.now = time_ps
-                arg = event[3]
-                if arg is None:
-                    fn()
-                elif type(arg) is tuple:
-                    fn(*arg)
+                    self.now = time_ps
+                    arg = event[3]
+                    if arg is None:
+                        fn()
+                    elif type(arg) is tuple:
+                        fn(*arg)
+                    else:
+                        fn(arg)
+                    processed += 1
+                elif self._wheel0 or self._wheel1:
+                    self._refill()
                 else:
-                    fn(arg)
-                processed += 1
+                    break
         else:
             while processed < max_events:
                 if not heap:

@@ -92,7 +92,7 @@ class Packet:
         "grant_offset", "grant_prio", "range_end", "cutoffs", "app_meta",
         "created_ps", "tx_start_ps", "alloc_ps", "alloc2_ps", "alloc3_ps",
         "arrival_ps", "rank_seq", "prev_arrival_ps", "prev_rank_seq",
-        "q_wait", "p_wait", "msg_key",
+        "q_wait", "p_wait", "msg_key", "pool", "slot",
     )
 
     def __init__(
@@ -181,6 +181,10 @@ class Packet:
         self.prev_rank_seq = 0
         self.q_wait = 0
         self.p_wait = 0
+        # Pool identity: set once per slot by core/pool.py when the
+        # packet is pool-born; plain-constructed packets stay unpooled.
+        self.pool = None
+        self.slot = -1
         # Identity of the message this packet belongs to.  Homa messages
         # are halves of an RPC, so (rpc id, direction) is the message
         # identity — this is what lets a client RESEND a response whose

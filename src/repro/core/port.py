@@ -55,7 +55,7 @@ class BasePort:
     __slots__ = (
         "sim", "name", "level", "ppb", "deliver", "busy",
         "cur_pkt", "cur_end_ps", "probe", "trace_delays",
-        "tx_packets", "tx_wire_bytes", "drops", "_tx_done_cb",
+        "tx_packets", "tx_wire_bytes", "drops", "_tx_done_cb", "enqueue_cb",
         "fuse_ok", "last_arrival_ps",
         "cut_ok", "in_delay_ps", "res_chain", "res_idx",
         "res_start_ps", "res_end_ps", "lineage_on",
@@ -83,8 +83,10 @@ class BasePort:
         self.tx_wire_bytes = 0
         self.drops = 0
         # Bound once: creating the bound method on every transmission is
-        # measurable at millions of events per run.
+        # measurable at millions of events per run.  ``enqueue_cb`` is
+        # the same trick for the ingress closures' arrival events.
         self._tx_done_cb = self._tx_done
+        self.enqueue_cb = self.enqueue
         # Arrival fusion (see topology's fused switch ingress): True only
         # where enqueueing early is invisible — no drops/marking/trimming
         # /preemption (queue state must not influence anything between
@@ -267,41 +269,46 @@ class QueuedPort(BasePort):
                 chain.materialize(self.res_idx)
             else:
                 self.res_chain = None  # stale: the packet already left
-        if self.lineage_on and self.mat_tx is not None and self.busy:
-            # A mid-window materialized transmission is in flight: its
-            # tx-done seq dates from the conflict, not the transmission
-            # start.  If this arrival lands exactly at its end while
-            # the slow path's tx-done (allocated at the start) would
-            # have fired first, replay that order: complete the
-            # transmission now, then enqueue.
-            event = self.mat_tx
-            now = self.sim.now
-            if now == self.cur_end_ps:
-                self.mat_tx = None
-                if (event[0] == now and event[2] is not None
-                        and self.cur_pkt is not None
-                        and self.cur_pkt.tx_start_ps
-                        < now - self.in_delay_ps):
-                    Simulator.cancel(event)
-                    self._tx_done()
-        heap = self.sim._heap if self.lineage_on else None
-        while heap and heap[0][2] is _mat_done:
-            # The same repair across ports: a pending same-instant
-            # completion of a transmission materialized mid-window
-            # carries a late seq, but the slow path (which allocated it
-            # at the transmission start) would have run it before this
-            # enqueue — and tx-done allocation order is observable one
-            # hop later.  Run it inline first.
-            top = heap[0]
-            port2 = top[3]
-            if (top[0] != self.sim.now
-                    or port2.mat_tx is not top or port2.cur_pkt is None
-                    or port2.cur_pkt.tx_start_ps
-                    >= self.sim.now - self.in_delay_ps):
-                break
-            port2.mat_tx = None
-            Simulator.cancel(top)
-            port2._tx_done()
+        if self.lineage_on:
+            # One gate for all the cut-through repair machinery: the
+            # default (slow-path-only) mode pays a single attribute
+            # read here.
+            if self.mat_tx is not None and self.busy:
+                # A mid-window materialized transmission is in flight:
+                # its tx-done seq dates from the conflict, not the
+                # transmission start.  If this arrival lands exactly at
+                # its end while the slow path's tx-done (allocated at
+                # the start) would have fired first, replay that order:
+                # complete the transmission now, then enqueue.
+                event = self.mat_tx
+                now = self.sim.now
+                if now == self.cur_end_ps:
+                    self.mat_tx = None
+                    if (event[0] == now and event[2] is not None
+                            and self.cur_pkt is not None
+                            and self.cur_pkt.tx_start_ps
+                            < now - self.in_delay_ps):
+                        Simulator.cancel(event)
+                        self._tx_done()
+            heap = self.sim._heap
+            while heap and heap[0][2] is _mat_done:
+                # The same repair across ports: a pending same-instant
+                # completion of a transmission materialized mid-window
+                # carries a late seq, but the slow path (which
+                # allocated it at the transmission start) would have
+                # run it before this enqueue — and tx-done allocation
+                # order is observable one hop later.  Run it inline
+                # first.
+                top = heap[0]
+                port2 = top[3]
+                if (top[0] != self.sim.now
+                        or port2.mat_tx is not top or port2.cur_pkt is None
+                        or port2.cur_pkt.tx_start_ps
+                        >= self.sim.now - self.in_delay_ps):
+                    break
+                port2.mat_tx = None
+                Simulator.cancel(top)
+                port2._tx_done()
         if self._vanilla:
             if (not self.busy and not self._nonempty and self.probe is None
                     and not self._paused):

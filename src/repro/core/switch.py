@@ -47,7 +47,7 @@ class Switch:
             self.injected_drops += 1
             return
         if self.delay_ps:
-            self.sim.schedule1(self.delay_ps, self.route(pkt).enqueue, pkt)
+            self.sim.schedule1(self.delay_ps, self.route(pkt).enqueue_cb, pkt)
         else:
             self._forward(pkt)
 

@@ -364,7 +364,7 @@ class Network:
                 pkt.prev_rank_seq = pkt.rank_seq
                 pkt.arrival_ps = arrival
                 pkt.rank_seq = sim._seq
-            event = [arrival, sim._seq, port.enqueue, pkt]
+            event = [arrival, sim._seq, port.enqueue_cb, pkt]
             if arrival < sim._horizon:
                 heappush(sim._heap, event)
             else:
@@ -433,7 +433,7 @@ class Network:
                 pkt.prev_rank_seq = pkt.rank_seq
                 pkt.arrival_ps = arrival
                 pkt.rank_seq = sim._seq
-            event = [arrival, sim._seq, port.enqueue, pkt]
+            event = [arrival, sim._seq, port.enqueue_cb, pkt]
             if arrival < sim._horizon:
                 heappush(sim._heap, event)
             else:

@@ -28,8 +28,8 @@ from heapq import heapify, heappop, heappush, heapreplace
 from typing import Callable, Optional
 
 from repro.core.engine import CoalescingTimer, Simulator
-from repro.core.packet import (ALLOC_UNKNOWN, CTRL_PRIO, MAX_PAYLOAD,
-                               MIN_WIRE, Packet, PacketType)
+from repro.core.packet import MAX_PAYLOAD, Packet, PacketType
+from repro.core.pool import PacketPool
 from repro.core.units import NS, ps_per_byte
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import (
@@ -77,6 +77,13 @@ class ServerRpc:
         self.app_meta = app_meta
 
 
+def _rank_key(m) -> tuple:
+    """Grant-ranking sort key: most remaining bytes first, then oldest
+    first arrival, then insertion order (module-level: no per-call
+    closure allocation in the hot ranking pass)."""
+    return (-m.bytes_remaining, -m.first_arrival_ps, m.sort_seq)
+
+
 class HomaTransport(Transport):
     """Full Homa protocol implementation."""
 
@@ -89,9 +96,15 @@ class HomaTransport(Transport):
         allocation: PriorityAllocation,
         rtt_bytes: int,
         link_gbps: int = 10,
+        pool: PacketPool | None = None,
     ) -> None:
         super().__init__(sim)
         self.cfg = cfg
+        # Slot pool for every packet this transport emits; normally the
+        # per-run pool shared across hosts (transport/registry.py) so
+        # receivers recycle senders' slots.  A private pool is only a
+        # fallback for directly constructed transports in tests.
+        self.pool = pool if pool is not None else PacketPool(cfg.pool_prealloc)
         self.alloc = allocation
         self.rtt_bytes = cfg.rtt_bytes or rtt_bytes
         self.unsched_limit = cfg.resolved_unsched_limit(self.rtt_bytes)
@@ -131,6 +144,12 @@ class HomaTransport(Transport):
         # ablation ([first_arrival_ps, sort_seq, msg], one per message).
         self._grantable: dict[int, InboundMessage] = {}
         self._grant_heap: list[list] = []
+        # The grant heap only ranks messages when more are grantable
+        # than the overcommitment degree.  In the common case (active
+        # set fits the degree) it stays quiescent — no per-data-packet
+        # refresh pushes — and is rebuilt from live state on the
+        # transition above the degree.  False = quiescent.
+        self._heap_live = False
         self._arrival_heap: list[list] = []
         # Tie-break counter reproducing the dict-insertion order the
         # pre-index linear scans used to resolve equal SRPT keys.
@@ -157,6 +176,13 @@ class HomaTransport(Transport):
         self.withheld_observer: Optional[Callable[[int, bool], None]] = None
         self._withheld = False
         self._timer_event = None
+        # Cached views of the allocation, refreshed only when it
+        # changes: the overcommitment degree and the rank -> scheduled
+        # priority table (both are read per data packet; the properties
+        # behind them cost a len()/min() chain each).
+        self._degree = 0
+        self._sched_tab: tuple[int, ...] = (0,)
+        self._refresh_alloc_cache()
         # Online priority estimation (section 3.4 dissemination).
         self.estimator = OnlineEstimator() if cfg.online_priorities else None
         self._next_refresh_ps = 0
@@ -285,8 +311,8 @@ class HomaTransport(Transport):
             alloc = self.peer_alloc.get(msg.dst, self.alloc)
             prio = alloc.unsched_prio(msg.length)
         unsched = msg.unsched_limit
-        return Packet(
-            self.hid, msg.dst, PacketType.DATA,
+        return self.pool.alloc_data(
+            self.hid, msg.dst,
             prio, size, msg.rpc_id, msg.is_request, offset,
             msg.length, sched, is_rtx, msg.incast, msg.app_meta,
             msg.length if msg.length < unsched else unsched,
@@ -322,6 +348,12 @@ class HomaTransport(Transport):
             self._on_busy(pkt)
         else:  # pragma: no cover - no other kinds reach a Homa host
             raise ValueError(f"unexpected packet kind {kind}")
+        # Delivery is the packet's consumption point: every handler
+        # above reads fields synchronously and retains none, so the
+        # slot recycles here (foreign/plain packets are a no-op).
+        pool = pkt.pool
+        if pool is not None:
+            pool.free(pkt)
 
     def _on_data(self, pkt: Packet) -> None:
         key = pkt.msg_key
@@ -363,8 +395,11 @@ class HomaTransport(Transport):
             if self._grantable.pop(key, None):
                 self._grant_dirty = True
             self._inbound_finished(msg)
-        elif key in self._grantable:
-            # Refresh this message's SRPT key (only it changed).
+        elif self._heap_live and key in self._grantable:
+            # Refresh this message's SRPT key (only it changed).  With
+            # the heap quiescent (active set fits the overcommitment
+            # degree) there is nothing to refresh: the ranking pass
+            # reads the live set directly.
             heap = self._grant_heap
             heappush(heap,
                      [msg.length - msg.received.total,
@@ -440,17 +475,26 @@ class HomaTransport(Transport):
         self.grant_ticks += 1
         self._schedule_grants()
 
-    def _grant_degree(self) -> int:
+    def _refresh_alloc_cache(self) -> None:
+        """Recompute the degree/priority-table caches from ``alloc``."""
         if self.cfg.unlimited_overcommit:
-            return 1 << 30
-        if self.cfg.overcommit_override is not None:
-            return self.cfg.overcommit_override
-        return self.alloc.n_sched
+            self._degree = 1 << 30
+        elif self.cfg.overcommit_override is not None:
+            self._degree = self.cfg.overcommit_override
+        else:
+            self._degree = self.alloc.n_sched
+        # sched_prio saturates at the highest scheduled level, so a
+        # table of length n_sched plus saturating lookup reproduces it.
+        self._sched_tab = tuple(self.alloc.sched_prio(r)
+                                for r in range(self.alloc.n_sched))
+
+    def _grant_degree(self) -> int:
+        return self._degree
 
     def _schedule_grants(self, changed: Optional[InboundMessage] = None) -> None:
         grantable = self._grantable
         total = len(grantable)
-        degree = self._grant_degree()
+        degree = self._degree
         if (changed is not None and not self._grant_dirty
                 and not self._withheld and total <= degree):
             # Steady-state fast path: membership and allocation are
@@ -486,10 +530,27 @@ class HomaTransport(Transport):
             # Fast path (the common case at sane overcommitment): every
             # grantable message is active, no ranking needed — the
             # priority sort below establishes the final order anyway.
+            # The grant heap is not consulted here, so it goes (or
+            # stays) quiescent: no refresh pushes until the active set
+            # outgrows the degree again.
+            if self._heap_live:
+                self._heap_live = False
+                self._grant_heap.clear()
             active = list(grantable.values())
         else:
             heap = self._grant_heap
+            if not self._heap_live:
+                # Coming out of quiescence: rebuild from live state.
+                # Every entry is fresh, so the top-K pops below see
+                # exactly what incremental maintenance would have kept
+                # (stale entries would have been filtered anyway).
+                for m in grantable.values():
+                    heap.append([m.length - m.received.total,
+                                 m.first_arrival_ps, m.sort_seq, m])
+                heapify(heap)
+                self._heap_live = True
             entries: list[list] = []
+            active: list[InboundMessage] = []
             seen: set[int] = set()
             while heap and len(entries) < degree:
                 entry = heappop(heap)
@@ -500,9 +561,9 @@ class HomaTransport(Transport):
                     continue
                 seen.add(key)
                 entries.append(entry)
+                active.append(msg)
             for entry in entries:
                 heappush(heap, entry)
-            active = [entry[3] for entry in entries]
             if self.cfg.grant_oldest:
                 # Section 5.1 speculation: always keep the oldest
                 # partially-received message schedulable so the very
@@ -517,12 +578,12 @@ class HomaTransport(Transport):
         if len(active) == 1:
             ordered = active
         else:
-            ordered = sorted(active, key=lambda m: (-m.bytes_remaining,
-                                                    -m.first_arrival_ps,
-                                                    m.sort_seq))
+            ordered = sorted(active, key=_rank_key)
         cutoffs = None if self.estimator is None else self._cutoffs_to_advertise()
+        tab = self._sched_tab
+        ntab = len(tab)
         for rank, msg in enumerate(ordered):
-            prio = self.alloc.sched_prio(rank)
+            prio = tab[rank] if rank < ntab else tab[ntab - 1]
             msg.sched_prio = prio
             received = msg.bytes_received
             new_grant = received + self.grant_window
@@ -550,43 +611,11 @@ class HomaTransport(Transport):
 
     def _grant_packet(self, msg: InboundMessage, new_grant: int, prio: int,
                       cutoffs: tuple | None) -> Packet:
-        # Direct construction (one per granted data packet): skips the
-        # 19-argument __init__ call; field set mirrors Packet.__init__.
-        pkt = Packet.__new__(Packet)
-        pkt.src = self.hid
-        pkt.dst = msg.src
-        pkt.kind = PacketType.GRANT
-        pkt.prio = CTRL_PRIO
-        pkt.fine_prio = 0
-        pkt.rpc_id = msg.rpc_id
-        pkt.is_request = msg.is_request
-        pkt.offset = 0
-        pkt.payload = 0
-        pkt.wire = MIN_WIRE
-        pkt.total_length = 0
-        pkt.sched = False
-        pkt.retx = False
-        pkt.incast = False
-        pkt.ecn = False
-        pkt.trimmed = False
-        pkt.grant_offset = new_grant
-        pkt.grant_prio = prio
-        pkt.range_end = 0
-        pkt.cutoffs = cutoffs
-        pkt.app_meta = None
-        pkt.created_ps = 0
-        pkt.tx_start_ps = 0
-        pkt.alloc_ps = ALLOC_UNKNOWN
-        pkt.alloc2_ps = ALLOC_UNKNOWN
-        pkt.alloc3_ps = ALLOC_UNKNOWN
-        pkt.arrival_ps = 0
-        pkt.rank_seq = 0
-        pkt.prev_arrival_ps = 0
-        pkt.prev_rank_seq = 0
-        pkt.q_wait = 0
-        pkt.p_wait = 0
-        pkt.msg_key = (msg.rpc_id << 1) | (1 if msg.is_request else 0)
-        return pkt
+        # One per granted data packet: a recycled slot re-initialized
+        # by the pool (the flight-mutable fields were reset at free).
+        return self.pool.alloc_ctrl(
+            PacketType.GRANT, self.hid, msg.src, msg.rpc_id, msg.is_request,
+            new_grant, prio, 0, 0, cutoffs)
 
     def _emit_changed_grant(self, msg: InboundMessage, new_grant: int,
                             grantable: dict[int, InboundMessage]) -> None:
@@ -608,7 +637,9 @@ class HomaTransport(Transport):
                 o_fa = other.first_arrival_ps
                 if o_fa > m_fa or (o_fa == m_fa and other.sort_seq < m_seq):
                     rank += 1
-        prio = self.alloc.sched_prio(rank)
+        tab = self._sched_tab
+        ntab = len(tab)
+        prio = tab[rank] if rank < ntab else tab[ntab - 1]
         msg.sched_prio = prio
         msg.granted = new_grant
         if new_grant >= msg.length:
@@ -701,10 +732,10 @@ class HomaTransport(Transport):
                     # request; the RPC will re-execute (sections 3.7/3.8).
                     self.reexecutions += 1
                     self.resends_sent += 1
-                    self.send_ctrl(Packet(
-                        self.hid, pkt.src, PacketType.RESEND, prio=CTRL_PRIO,
-                        rpc_id=pkt.rpc_id, is_request=True,
-                        offset=0, range_end=self.rtt_bytes))
+                    self.send_ctrl(self.pool.alloc_ctrl(
+                        PacketType.RESEND, self.hid, pkt.src,
+                        pkt.rpc_id, True, offset=0,
+                        range_end=self.rtt_bytes))
             return
         if self._sender_is_busy(msg):
             self._send_busy(pkt)
@@ -747,9 +778,9 @@ class HomaTransport(Transport):
 
     def _send_busy(self, resend: Packet) -> None:
         self.busys_sent += 1
-        self.send_ctrl(Packet(
-            self.hid, resend.src, PacketType.BUSY, prio=CTRL_PRIO,
-            rpc_id=resend.rpc_id, is_request=resend.is_request))
+        self.send_ctrl(self.pool.alloc_ctrl(
+            PacketType.BUSY, self.hid, resend.src,
+            resend.rpc_id, resend.is_request))
 
     def _on_busy(self, pkt: Packet) -> None:
         # BUSY is proof the peer is alive, exactly like data progress
@@ -797,9 +828,9 @@ class HomaTransport(Transport):
                 self._abort_related_rpc(msg)
                 continue
             self.resends_sent += 1
-            self.send_ctrl(Packet(
-                self.hid, msg.src, PacketType.RESEND, prio=CTRL_PRIO,
-                rpc_id=msg.rpc_id, is_request=msg.is_request,
+            self.send_ctrl(self.pool.alloc_ctrl(
+                PacketType.RESEND, self.hid, msg.src,
+                msg.rpc_id, msg.is_request,
                 offset=gap[0], range_end=gap[1]))
         # Client side: responses that never started arriving.
         for rpc in list(self.client_rpcs.values()):
@@ -817,10 +848,9 @@ class HomaTransport(Transport):
             # RESEND for the response, even though the request may have
             # been lost; the server answers RESEND-for-request if so.
             self.resends_sent += 1
-            self.send_ctrl(Packet(
-                self.hid, rpc.dst, PacketType.RESEND, prio=CTRL_PRIO,
-                rpc_id=rpc.rpc_id, is_request=False,
-                offset=0, range_end=self.rtt_bytes))
+            self.send_ctrl(self.pool.alloc_ctrl(
+                PacketType.RESEND, self.hid, rpc.dst,
+                rpc.rpc_id, False, offset=0, range_end=self.rtt_bytes))
         self._timer_event = None
         self._ensure_timer()
 
@@ -873,4 +903,5 @@ class HomaTransport(Transport):
             n_unsched_override=self.cfg.n_unsched_override,
             n_sched_override=self.cfg.n_sched_override)
         # The overcommitment degree may have moved with n_sched.
+        self._refresh_alloc_cache()
         self._grant_dirty = True

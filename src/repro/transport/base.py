@@ -26,6 +26,9 @@ class Transport:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.host = None
+        #: host id; set by bind() (a plain attribute, not a property:
+        #: transports read it per packet)
+        self.hid = None
         self.ctrl: deque[Packet] = deque()
         #: called as fn(inbound_message, completion_time_ps)
         self.on_message_complete: Optional[Callable[[InboundMessage, int], None]] = None
@@ -39,15 +42,12 @@ class Transport:
 
     def bind(self, host) -> None:
         self.host = host
+        self.hid = host.hid
         # Shadow the method with the NIC's bound kick, and keep a direct
         # egress reference: transports touch these once or more per
         # packet, so skip the attribute chase.
         self.kick = host.egress.kick
         self._egress = host.egress
-
-    @property
-    def hid(self) -> int:
-        return self.host.hid
 
     def kick(self) -> None:
         """Tell the NIC that new work may be available."""

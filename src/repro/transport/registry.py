@@ -12,6 +12,7 @@ from typing import Callable
 
 from repro.core.engine import Simulator
 from repro.core.packet import FULL_WIRE
+from repro.core.pool import PacketPool
 from repro.core.topology import Network
 from repro.baselines.ndp import NdpTransport
 from repro.baselines.pfabric import PfabricTransport
@@ -78,8 +79,11 @@ def transport_factory(
             n_sched_override=cfg.n_sched_override,
             cutoff_override=cfg.cutoff_override,
         )
+        # One slot pool per run, shared by every host: packets recycle
+        # at their destination regardless of which sender drew them.
+        pool = PacketPool(cfg.pool_prealloc)
         return lambda host: HomaTransport(sim, cfg, alloc, rtt_bytes,
-                                          link_gbps=host_gbps)
+                                          link_gbps=host_gbps, pool=pool)
 
     if protocol == "pfabric":
         return lambda host: PfabricTransport(sim, rtt_bytes=rtt_bytes,

@@ -51,6 +51,7 @@ def test_every_rule_has_fixture_coverage():
         "payload-roundtrip",
         "doc-drift",
         "registry-hooks",
+        "sched-arity",
     }
     assert RULES["hot-alloc"].tier == "advisory"
 
@@ -348,6 +349,105 @@ def test_hot_alloc_pragma_waives():
         rel="src/repro/core/engine.py",
         rules=["hot-alloc"],
         hot_manifest=HOT_MANIFEST,
+    )
+    assert result.findings == []
+    assert len(result.waived) == 1
+
+
+# -- sched-arity --------------------------------------------------------
+
+
+def test_sched_arity_flags_self_method_mismatch():
+    hits = rule_hits(
+        """
+        class Port:
+            def _tx_done(self, pkt):
+                pass
+
+            def start(self, duration):
+                self.sim.schedule0(duration, self._tx_done)
+        """,
+        "sched-arity",
+    )
+    assert [f.detail for f in hits] == ["schedule0:_tx_done:expected=0"]
+
+
+def test_sched_arity_flags_variadic_undercount():
+    hits = rule_hits(
+        """
+        def deliver(pkt, port):
+            pass
+
+        def kick(sim, pkt):
+            sim.schedule(10, deliver, pkt)
+        """,
+        "sched-arity",
+    )
+    assert [f.detail for f in hits] == ["schedule:deliver:expected=1"]
+
+
+def test_sched_arity_flags_lambda_and_local_def():
+    hits = rule_hits(
+        """
+        def kick(sim, pkt):
+            def fire():
+                pass
+            sim.schedule1(10, fire, pkt)
+            sim.schedule_at1(20, lambda: None, pkt)
+        """,
+        "sched-arity",
+    )
+    assert sorted(f.detail for f in hits) == [
+        "schedule1:fire:expected=1",
+        "schedule_at1:<lambda>:expected=1",
+    ]
+
+
+def test_sched_arity_passes_matching_and_flexible_signatures():
+    src = """
+        class Timer:
+            def _fire(self):
+                pass
+
+            def _fire1(self, key, extra=None):
+                pass
+
+            def arm(self, sim, key):
+                sim.schedule0(10, self._fire)
+                sim.schedule1(10, self._fire1, key)
+                sim.schedule(10, self._fire1, key, 3)
+                sim.schedule_at(20, catchall, key, key, key)
+
+        def catchall(*args):
+            pass
+        """
+    assert rule_hits(src, "sched-arity") == []
+
+
+def test_sched_arity_skips_unresolvable_callbacks():
+    src = """
+        def arm(sim, collector, pkt, cbs):
+            sim.schedule_at(10, collector.snapshot)
+            sim.schedule1(10, cbs[0], pkt)
+            sim.schedule(10, collector.route(pkt).enqueue, pkt)
+            sim.schedule(10, forward, *pkt)
+            sim.schedule1(10, self_bound, arg=pkt)
+        """
+    assert rule_hits(src, "sched-arity") == []
+
+
+def test_sched_arity_pragma_waives():
+    src = """
+        def fire():
+            pass
+
+        def arm(sim, pkt):
+            sim.schedule1(10, fire, pkt)  # simlint: ok(sched-arity) — fixture: callback swallows via C shim
+        """
+    result = analyze_source(
+        textwrap.dedent(src),
+        rel="src/repro/core/snippet.py",
+        rules=["sched-arity"],
     )
     assert result.findings == []
     assert len(result.waived) == 1
