@@ -29,6 +29,7 @@ from repro.analysis.core import (
 from repro.analysis import (  # noqa: E402  (registration side effects)
     rules_determinism,
     rules_docs,
+    rules_faults,
     rules_hotpath,
     rules_payload,
     rules_registry,
@@ -55,6 +56,7 @@ __all__ = [
     "write_baseline",
     "rules_determinism",
     "rules_docs",
+    "rules_faults",
     "rules_hotpath",
     "rules_payload",
     "rules_registry",

@@ -1,9 +1,11 @@
 """Config/doc drift.
 
-Every ``HomaConfig`` and ``NetworkConfig`` field must be mentioned
-somewhere in the repo's markdown (README/docs/**).  The canonical field
-reference is docs/CONFIG.md; this rule is what keeps it from rotting
-when someone adds a knob.
+Every field of the user-facing config classes (``HomaConfig``,
+``NetworkConfig``, and the declarative-fabric surface ``TopologySpec``
+/ ``LossRates`` / ``FaultEvent``) must be mentioned somewhere in the
+repo's markdown (README/docs/**).  The canonical field reference is
+docs/CONFIG.md; this rule is what keeps it from rotting when someone
+adds a knob.
 
 Bidirectional: table rows in docs/CONFIG.md that name a field which no
 longer exists are flagged too (``stale-doc``), so renames cannot leave
@@ -18,7 +20,8 @@ import re
 from repro.analysis.core import Finding, Project, rule
 
 #: class names whose fields constitute the user-facing config surface
-CONFIG_CLASS_NAMES = ("HomaConfig", "NetworkConfig")
+CONFIG_CLASS_NAMES = ("HomaConfig", "NetworkConfig", "TopologySpec",
+                      "LossRates", "FaultEvent")
 
 #: the canonical field-reference document (checked bidirectionally)
 CONFIG_DOC = "docs/CONFIG.md"

@@ -1,0 +1,105 @@
+"""Fault-schedule determinism rule.
+
+Fault-injection observers (``FaultInjector.subscribe(fn)`` in
+``core/faults.py``) run inside the event loop at scheduled simulation
+times: anything they do — logging a reroute, mutating a counter,
+scheduling follow-up work — feeds the deterministic-replay contract
+(same spec + same seed must reproduce identical digests).  The generic
+determinism rules stop at package boundaries (``det-wallclock`` only
+covers the simulation packages), but fault observers are typically
+registered from tests, benchmarks, and experiment harnesses — exactly
+where a stray ``time.time()`` or global ``random.random()`` would
+otherwise pass the linter and then poison a replay.
+
+``fault-determinism`` closes that gap: wherever a ``.subscribe(cb)``
+call appears, the callback is resolved with the same conservative
+module-local logic as ``sched-arity`` (lambdas, local/module ``def``s,
+``self.<method>``) and its body is rejected if it reads the wall clock
+or draws from an unseeded/global RNG.  Unresolvable callbacks are
+skipped, not guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    canonical_call,
+    import_map,
+    rule,
+)
+from repro.analysis.rules_determinism import WALLCLOCK_CALLS, _SEEDED_CTORS
+from repro.analysis.rules_sched import _resolve
+
+
+def _nondeterminism(name: str, node: ast.Call) -> str | None:
+    """Why a call inside a fault observer breaks replay, or None."""
+    if name in WALLCLOCK_CALLS:
+        return f"{name}() reads the wall clock"
+    if name in _SEEDED_CTORS and not node.args and not node.keywords:
+        return f"{name}() without a seed is seeded from the OS"
+    if name in ("random.SystemRandom", "numpy.random.RandomState"):
+        return f"{name} cannot be made deterministic"
+    if name in ("random.seed", "numpy.random.seed"):
+        return f"{name}() mutates hidden global RNG state"
+    if name.startswith("random.") and name.count(".") == 1:
+        return f"{name}() draws from the process-global RNG"
+    return None
+
+
+@rule("fault-determinism")
+def check_fault_callbacks(project: Project) -> list[Finding]:
+    """Fault observers must be replay-deterministic.
+
+    For every ``<injector>.subscribe(cb)`` call whose callback resolves
+    inside the same module, walk the callback body and flag wall-clock
+    reads and unseeded/global RNG draws.  Observers receive
+    ``(event, now_ps)`` — simulated time and the applied event are the
+    only clocks they may consult; randomness must come from a generator
+    seeded off the experiment seed.
+    """
+    out: list[Finding] = []
+    for mod in project.modules:
+        imports = import_map(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "subscribe"):
+                continue
+            if not node.args:
+                continue
+            cb = node.args[0]
+            fn, _drop_self = _resolve(mod, node, cb)
+            if fn is None:
+                continue
+            cb_desc = ("<lambda>" if isinstance(fn, ast.Lambda)
+                       else getattr(fn, "name", "<callback>"))
+            for sub in ast.walk(fn):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = canonical_call(sub, imports)
+                if name is None:
+                    continue
+                why = _nondeterminism(name, sub)
+                if why is None:
+                    continue
+                out.append(Finding(
+                    rule="fault-determinism",
+                    path=mod.rel,
+                    line=sub.lineno,
+                    scope=mod.scope_of(node),
+                    detail=f"{cb_desc}:{name}",
+                    message=(
+                        f"fault observer {cb_desc} is not replay-"
+                        f"deterministic: {why}; derive time from the "
+                        f"observer's now_ps argument and randomness "
+                        f"from a generator seeded off the experiment "
+                        f"seed"
+                    ),
+                ))
+    return out

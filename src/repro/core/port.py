@@ -30,6 +30,7 @@ from repro.core.cutthrough import precedes as _cut_precedes
 from repro.core.engine import Simulator
 from repro.core.packet import (ALLOC_UNKNOWN, CTRL_PRIO, N_PRIORITIES,
                                Packet, PacketType)
+from repro.core.pool import free_packet
 from repro.core.units import ps_per_byte
 
 
@@ -133,6 +134,11 @@ class BasePort:
 
     def enqueue(self, pkt: Packet) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def flush(self) -> int:
+        """Destroy everything queued on this port (fault injection,
+        core/faults.py).  Ports without a queue lose nothing."""
+        return 0
 
     def _transmit(self, pkt: Packet) -> None:
         sim = self.sim
@@ -390,6 +396,33 @@ class QueuedPort(BasePort):
             self._next()
         elif preempts:
             self._preempt()
+
+    def flush(self) -> int:
+        """Destroy every queued (not in-flight) packet.
+
+        A link or switch fault kills the line card: whatever sat in its
+        buffers is gone.  The packet currently serializing is untouched
+        — its bits are already on the wire (a dead downstream switch
+        drops it at ingress instead).  Pooled packets recycle at the
+        drop point.  Returns the number of packets destroyed, which the
+        caller accounts (FabricNetwork credits the owning switch's
+        ``fault_drops``).
+        """
+        flushed = 0
+        for queue in self.queues:
+            while queue:
+                free_packet(queue.popleft())
+                flushed += 1
+        for pkt, _ in self._paused:
+            free_packet(pkt)
+            flushed += 1
+        self._paused.clear()
+        self._nonempty = 0
+        self.qbytes = 0
+        self.prio_qbytes = [0] * N_PRIORITIES
+        if flushed and self.probe is not None:
+            self.probe.on_queue_change(self.sim.now, 0)
+        return flushed
 
     def _preempt(self) -> None:
         """Ideal link-level preemption: pause the in-flight packet."""

@@ -328,8 +328,16 @@ def _cell_cost(cell: Cell) -> float:
     ones."""
     spec = cell.spec
     if isinstance(spec, ExperimentConfig):
-        return ((spec.duration_ms + spec.drain_ms)
-                * spec.racks * spec.hosts_per_rack * spec.load)
+        if spec.fabric is not None:
+            # Declarative fabrics supersede racks/hosts_per_rack, and
+            # lossy cells burn extra events on timeout/RESEND churn.
+            hosts = spec.fabric.n_hosts
+            loss = spec.fabric.loss
+            churn = 1.0 + 10.0 * (loss.tor + loss.aggr + loss.core)
+        else:
+            hosts = spec.racks * spec.hosts_per_rack
+            churn = 1.0
+        return (spec.duration_ms + spec.drain_ms) * hosts * spec.load * churn
     return float("inf")
 
 

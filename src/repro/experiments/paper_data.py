@@ -125,4 +125,6 @@ CAMPAIGNS = {
                "switch egress queue lengths at 80% load"),
     "ablations": ("bench_ablations",
                   "link preemption / grant-oldest / online priorities"),
+    "fabric": ("bench_fabric_stress",
+               "fabric stress: loss + failure injection recovery grid"),
 }

@@ -17,11 +17,16 @@ from repro.apps.echo import attach_echo_workload
 from repro.apps.openloop import attach_openloop_workload
 from repro.core.engine import Simulator
 from repro.core.packet import PacketType
-from repro.core.topology import NetworkConfig, build_network
+from repro.core.topology import (
+    NetworkConfig,
+    TopologySpec,
+    build_fabric,
+    build_network,
+)
 from repro.core.units import MS
 from repro.homa.config import HomaConfig
 from repro.metrics.bandwidth import ThroughputMeter, WastedBandwidthTracker
-from repro.metrics.control import ControlTraffic
+from repro.metrics.control import ControlTraffic, FabricHealth
 from repro.metrics.delays import DelayDecomposition
 from repro.metrics.priousage import PriorityUsage
 from repro.metrics.queues import QueueLevelStats, QueueStats
@@ -29,6 +34,7 @@ from repro.metrics.slowdown import SlowdownTracker
 from repro.transport.registry import (
     OVERHEAD_MODEL,
     network_overrides,
+    supports_fabric_faults,
     transport_factory,
 )
 from repro.workloads.catalog import get_workload
@@ -58,6 +64,10 @@ class ExperimentConfig:
     collect: tuple[str, ...] = ()  # of: queues, priousage, wasted,
     #                                    throughput, delays
     net_overrides: dict = field(default_factory=dict)
+    #: None uses the canonical 2-level fabric above (racks/hosts_per_rack/
+    #: aggrs); a TopologySpec supersedes those fields and may add a third
+    #: switch level, per-layer loss, and a fault schedule (docs/FABRICS.md)
+    fabric: TopologySpec | None = None
 
     def paper_scale(self) -> "ExperimentConfig":
         """The full Figure 11 topology (slow in Python; used selectively)."""
@@ -76,9 +86,12 @@ class ExperimentConfig:
             if homa.get("cutoff_override") is not None:
                 homa["cutoff_override"] = tuple(homa["cutoff_override"])
             homa = HomaConfig(**homa)
+        fabric = data.pop("fabric", None)
+        if fabric is not None and not isinstance(fabric, TopologySpec):
+            fabric = TopologySpec.from_payload(fabric)
         data["collect"] = tuple(data.get("collect") or ())
         data["net_overrides"] = dict(data.get("net_overrides") or {})
-        return cls(homa=homa, **data)
+        return cls(homa=homa, fabric=fabric, **data)
 
 
 @dataclass
@@ -108,6 +121,8 @@ class ExperimentResult:
     #: even when a long drain lets everything eventually finish
     backlog_mid_bytes: int = 0
     backlog_end_bytes: int = 0
+    #: fabric drop/reroute accounting; all-zero on clean fabrics
+    fabric: FabricHealth = field(default_factory=FabricHealth)
 
     @property
     def finish_rate(self) -> float:
@@ -153,6 +168,7 @@ class ExperimentResult:
             "control": self.control.to_payload(),
             "backlog_mid_bytes": self.backlog_mid_bytes,
             "backlog_end_bytes": self.backlog_end_bytes,
+            "fabric": self.fabric.to_payload(),
         }
 
     @classmethod
@@ -177,6 +193,7 @@ class ExperimentResult:
             control=ControlTraffic.from_payload(payload.get("control")),
             backlog_mid_bytes=payload["backlog_mid_bytes"],
             backlog_end_bytes=payload["backlog_end_bytes"],
+            fabric=FabricHealth.from_payload(payload.get("fabric")),
         )
 
 
@@ -186,11 +203,24 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     sim = Simulator()
     overrides = dict(network_overrides(cfg.protocol))
     overrides.update(cfg.net_overrides)
-    net_cfg = NetworkConfig(
-        racks=cfg.racks, hosts_per_rack=cfg.hosts_per_rack,
-        aggrs=cfg.aggrs if cfg.racks > 1 else 0,
-        seed=cfg.seed, **overrides)
-    net = build_network(sim, net_cfg)
+    if cfg.fabric is not None:
+        # Declarative fabric: the spec supplies shape, speeds, loss, and
+        # faults; racks/hosts_per_rack/aggrs on this config are ignored.
+        if ((cfg.fabric.loss.any() or cfg.fabric.faults)
+                and not supports_fabric_faults(cfg.protocol)):
+            raise ValueError(
+                f"protocol {cfg.protocol!r} is not validated under "
+                f"injected loss/faults (registry.LOSS_VALIDATED); use a "
+                f"clean TopologySpec or a validated protocol")
+        net = build_fabric(sim, cfg.fabric, seed=cfg.seed,
+                           overrides=overrides)
+        net_cfg = net.cfg
+    else:
+        net_cfg = NetworkConfig(
+            racks=cfg.racks, hosts_per_rack=cfg.hosts_per_rack,
+            aggrs=cfg.aggrs if cfg.racks > 1 else 0,
+            seed=cfg.seed, **overrides)
+        net = build_network(sim, net_cfg)
 
     workload = get_workload(cfg.workload)
     factory = transport_factory(cfg.protocol, sim, net, workload.cdf,
@@ -297,6 +327,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         control=ControlTraffic.collect(transports),
         backlog_mid_bytes=backlog_samples[0],
         backlog_end_bytes=backlog_samples[1],
+        fabric=FabricHealth.collect(net),
     )
     if queue_stats is not None:
         result.queue_rows = queue_stats.report()

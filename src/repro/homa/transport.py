@@ -195,6 +195,10 @@ class HomaTransport(Transport):
         self.rpcs_aborted = 0
         self.rpcs_completed = 0
         self.reexecutions = 0
+        # Loss-recovery accounting (lossy fabrics, core/faults.py).
+        self.rtx_data_sent = 0      # retransmitted DATA packets
+        self.rtx_recovered = 0      # retransmitted DATA that filled a gap
+        self.inbound_gaveups = 0    # inbound messages dropped at max_resends
 
     # ------------------------------------------------------------------
     # public sending API
@@ -304,6 +308,8 @@ class HomaTransport(Transport):
 
     def _make_data_packet(self, msg: OutboundMessage, offset: int, size: int,
                           is_rtx: bool) -> Packet:
+        if is_rtx:
+            self.rtx_data_sent += 1
         sched = offset >= msg.unsched_limit
         if sched:
             prio = msg.grant_prio
@@ -390,6 +396,8 @@ class HomaTransport(Transport):
         if msg.received.add(pkt.offset,
                             end if end < msg.length else msg.length):
             msg.resends = 0  # progress resets the retry budget
+            if pkt.retx:
+                self.rtx_recovered += 1
         if msg.is_complete():
             del self.inbound[key]
             if self._grantable.pop(key, None):
@@ -702,6 +710,14 @@ class HomaTransport(Transport):
         if offset > msg.granted:
             msg.granted = offset if offset < msg.length else msg.length
         msg.grant_prio = pkt.grant_prio
+        if pkt.is_request:
+            # A grant is receiver-side proof of life: refresh the client
+            # RPC's activity clock and retry budget so the stalled-
+            # request probe in _timer_fire never fires mid-transfer.
+            rpc = self.client_rpcs.get(pkt.rpc_id)
+            if rpc is not None:
+                rpc.last_activity_ps = self.sim.now
+                rpc.resends = 0
         if not was_sendable and msg.sent < msg.granted:
             heappush(self._send_heap, [msg.length - msg.sent,
                                        msg.created_ps, msg.sort_seq, msg])
@@ -726,6 +742,13 @@ class HomaTransport(Transport):
                 if pkt.rpc_id in self.server_rpcs:
                     # Response still being computed: hold the client off.
                     self._send_busy(pkt)
+                elif ((pkt.rpc_id << 1) | 1) in self.inbound:
+                    # Request still arriving: the client probed for a
+                    # response that cannot exist yet (it is stalled on
+                    # grants we are withholding, or its tail is lost and
+                    # our RESENDs are pending).  BUSY proves we are
+                    # alive and resets the client's retry budget.
+                    self._send_busy(pkt)
                 else:
                     # Unknown RPCid: the request must have been lost (or
                     # our state discarded).  Ask the client to resend the
@@ -736,16 +759,79 @@ class HomaTransport(Transport):
                         PacketType.RESEND, self.hid, pkt.src,
                         pkt.rpc_id, True, offset=0,
                         range_end=self.rtt_bytes))
+            elif pkt.grant_offset > 0:
+                # RESEND for a request we no longer track: a fully-sent
+                # one-way message whose sender state was dropped the
+                # moment the last byte hit the NIC — with a lost tail
+                # packet, the receiver would otherwise burn its whole
+                # retry budget against a sender that forgot the bytes.
+                # The receiver's timeout RESENDs carry the message
+                # length in grant_offset, so resurrect a ghost outbound
+                # covering exactly the missing range.  (An aborted RPC
+                # lands here too: re-sending its request is at-least-
+                # once re-execution, section 3.8.)
+                self._ghost_resend(pkt)
             return
         if self._sender_is_busy(msg):
             self._send_busy(pkt)
             return
-        msg.queue_rtx(pkt.offset, pkt.range_end)
+        if pkt.offset == 0 and pkt.grant_offset == 0 and msg.sent > 0:
+            # The peer has *nothing*: a re-executed request whose server
+            # lost all state (3.8), or a client probing for a response
+            # of which no byte ever arrived.  Gap-chasing from a byte
+            # accounting the receiver no longer shares recovers ~RTT
+            # bytes per timeout round and can outrun the retry budget —
+            # the receiver then gives up and re-executes again, forever.
+            # Restart the transmission from scratch instead: a fresh
+            # unscheduled prefix, then the normal grant-driven flow.
+            msg.sent = 0
+            msg.granted = min(msg.length, msg.unsched_limit)
+            msg.rtx.clear()
+            self._index_outbound(msg)
+            if pkt.is_request:
+                rpc = self.client_rpcs.get(pkt.rpc_id)
+                if rpc is not None:
+                    rpc.last_activity_ps = self.sim.now
+            self.kick()
+            return
+        # The RESEND's range is an implicit grant (3.7): the receiver is
+        # asking for those bytes even if every GRANT it sent was lost.
+        # Only bytes already on the wire are *re*-transmitted; the rest
+        # of the range goes out through the normal grant-driven path, so
+        # ``sent`` reaches ``length`` and the outbound state is
+        # reclaimed.  (Blindly queueing the whole range as rtx let the
+        # receiver complete off bytes the sender never counted as sent —
+        # the sender then waited forever for grants that could no longer
+        # come, leaking the message and its server RPC.)
+        if pkt.range_end > msg.granted:
+            msg.grant_to(pkt.range_end, msg.grant_prio)
+        msg.queue_rtx(pkt.offset, min(pkt.range_end, msg.sent))
         self._index_outbound(msg)  # may have been cleaned up
         if pkt.is_request:
             rpc = self.client_rpcs.get(pkt.rpc_id)
             if rpc is not None:
                 rpc.last_activity_ps = self.sim.now
+        self.kick()
+
+    def _ghost_resend(self, pkt: Packet) -> None:
+        """Rebuild sender state for a forgotten fully-sent message.
+
+        The ghost starts fully sent (``sent == granted == length``) so
+        only the queued retransmission range ever transmits; once the
+        range drains, ``fully_sent`` cleans it up through the normal
+        ``_outbound_finished`` path.
+        """
+        length = pkt.grant_offset
+        end = pkt.range_end if pkt.range_end <= length else length
+        if pkt.offset >= end:
+            return
+        msg = OutboundMessage(
+            pkt.rpc_id, True, self.hid, pkt.src, length,
+            unsched_limit=length, created_ps=self.sim.now)
+        msg.sent = length
+        msg.granted = length
+        msg.queue_rtx(pkt.offset, end)
+        self._index_outbound(msg)
         self.kick()
 
     def _sender_is_busy(self, msg: OutboundMessage) -> bool:
@@ -812,6 +898,13 @@ class HomaTransport(Transport):
     def _timer_fire(self) -> None:
         now = self.sim.now
         interval = self.cfg.resend_interval_ps
+        # Overcommitment slots freed by a give-up below.  A withheld
+        # message can only ever be granted by a ranking pass, and after
+        # a give-up no data arrival may come to trigger one (its sender
+        # is itself stalled waiting for grants) — so if any slot frees
+        # here, run the pass before returning or the slot leaks and the
+        # withheld message stalls forever.
+        freed = False
         # Receiver side: granted bytes that never arrived.
         for msg in list(self.inbound.values()):
             if now - msg.last_activity_ps < interval:
@@ -824,26 +917,46 @@ class HomaTransport(Transport):
             msg.last_activity_ps = now
             if msg.resends > self.cfg.max_resends:
                 del self.inbound[msg.key]
-                self._grantable.pop(msg.key, None)
+                if self._grantable.pop(msg.key, None) is not None:
+                    self._grant_dirty = True
+                    freed = True
+                self.inbound_gaveups += 1
                 self._abort_related_rpc(msg)
                 continue
             self.resends_sent += 1
+            # ``grant_offset`` carries the message's total length: if
+            # the sender has already discarded its state (a fully-sent
+            # one-way message), it can resurrect a ghost outbound for
+            # exactly the missing range (_on_resend).
             self.send_ctrl(self.pool.alloc_ctrl(
                 PacketType.RESEND, self.hid, msg.src,
                 msg.rpc_id, msg.is_request,
+                grant_offset=msg.length,
                 offset=gap[0], range_end=gap[1]))
         # Client side: responses that never started arriving.
         for rpc in list(self.client_rpcs.values()):
             if rpc.response_started:
                 continue  # the inbound scan above covers it
             if not rpc.request.fully_sent():
-                continue  # still transmitting the request
+                if rpc.request.sendable():
+                    continue  # actively transmitting: progress is made
+                # Stalled mid-request waiting for grants.  Normally the
+                # receiver's inactivity RESEND pokes the sender back into
+                # motion; but if the receiver gave up on the inbound
+                # request (its retry budget drained while our
+                # retransmissions kept getting lost), no grant will ever
+                # come and the RPC would hang forever.  Fall through and
+                # probe on the same budget: a live receiver answers
+                # BUSY/RESEND (both reset the budget via _on_busy /
+                # _on_resend), a vanished one stays silent until abort.
+                pass
             if now - rpc.last_activity_ps < interval:
                 continue
             rpc.resends += 1
             rpc.last_activity_ps = now
             if rpc.resends > self.cfg.max_resends:
-                self._abort_client_rpc(rpc)
+                if self._abort_client_rpc(rpc):
+                    freed = True
                 continue
             # RESEND for the response, even though the request may have
             # been lost; the server answers RESEND-for-request if so.
@@ -853,6 +966,8 @@ class HomaTransport(Transport):
                 rpc.rpc_id, False, offset=0, range_end=self.rtt_bytes))
         self._timer_event = None
         self._ensure_timer()
+        if freed:
+            self._schedule_grants()
 
     def _abort_related_rpc(self, msg: InboundMessage) -> None:
         if not msg.is_request:
@@ -860,12 +975,16 @@ class HomaTransport(Transport):
             if rpc is not None:
                 self._signal_error(rpc)
 
-    def _abort_client_rpc(self, rpc: ClientRpc) -> None:
+    def _abort_client_rpc(self, rpc: ClientRpc) -> bool:
+        """Drop every trace of an RPC; True if a grant slot was freed."""
         self.client_rpcs.pop(rpc.rpc_id, None)
         self.inbound.pop((rpc.rpc_id << 1), None)  # partial response
-        self._grantable.pop((rpc.rpc_id << 1), None)
+        freed = self._grantable.pop((rpc.rpc_id << 1), None) is not None
+        if freed:
+            self._grant_dirty = True
         self.outbound.pop((rpc.rpc_id << 1) | 1, None)
         self._signal_error(rpc)
+        return freed
 
     def _signal_error(self, rpc: ClientRpc) -> None:
         self.rpcs_aborted += 1

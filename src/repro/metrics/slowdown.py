@@ -67,7 +67,7 @@ class SlowdownTracker:
         """Record a one-way message (the section 5.2 experiments)."""
         if created_ps < self.warmup_ps:
             return
-        oracle = self.net.min_oneway_ps(size, self.net.same_rack(src, dst))
+        oracle = self.net.min_oneway_between(src, dst, size)
         self._push(size, (completed_ps - created_ps) / oracle)
 
     def record_rpc(self, src: int, dst: int, request: int, response: int,
@@ -76,8 +76,7 @@ class SlowdownTracker:
         Slowdown is bucketed by the echo payload size, as in Figure 8."""
         if created_ps < self.warmup_ps:
             return
-        oracle = self.net.min_rpc_ps(request, response,
-                                     self.net.same_rack(src, dst))
+        oracle = self.net.min_rpc_between(src, dst, request, response)
         self._push(max(request, response),
                    (completed_ps - created_ps) / oracle)
 

@@ -28,6 +28,19 @@ from repro.workloads.distributions import EmpiricalCDF
 PROTOCOLS = ("homa", "basic", "pfabric", "phost", "pias", "ndp",
              "stream", "stream_mc")
 
+#: protocols whose loss-recovery path is exercised end-to-end by the
+#: fault battery (tests/test_faults.py): dropped DATA/GRANT packets are
+#: recovered through timeouts/RESEND or surfaced as give-ups.  Lossy or
+#: faulty fabrics (core/faults.py) refuse other protocols rather than
+#: silently losing messages with no recovery accounting.
+LOSS_VALIDATED = ("homa", "basic")
+
+
+def supports_fabric_faults(protocol: str) -> bool:
+    """True if ``protocol`` may run on a lossy/faulty TopologySpec."""
+    return protocol in LOSS_VALIDATED
+
+
 #: name used for control-packet overhead accounting (loadcalc)
 OVERHEAD_MODEL = {
     "homa": "homa",

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.engine import Simulator
-from repro.core.topology import NetworkConfig, build_network
+from repro.core.topology import NetworkConfig, build_fabric, build_network
 from repro.homa.config import HomaConfig
 from repro.homa.priorities import allocate_priorities
 from repro.homa.transport import HomaTransport
@@ -28,6 +28,36 @@ def homa_cluster(
 ):
     """Network + one HomaTransport per host, statically allocated."""
     sim, net = small_net(racks, hosts_per_rack, aggrs, **net_overrides)
+    cfg = homa_cfg or HomaConfig()
+    rtt = net.rtt_bytes()
+    unsched = cfg.resolved_unsched_limit(rtt)
+    alloc = allocate_priorities(
+        get_workload(workload).cdf, unsched,
+        n_prios=cfg.n_prios,
+        n_unsched_override=cfg.n_unsched_override,
+        n_sched_override=cfg.n_sched_override,
+        cutoff_override=cfg.cutoff_override,
+    )
+    transports = net.attach_transports(
+        lambda host: HomaTransport(sim, cfg, alloc, rtt,
+                                   link_gbps=net.cfg.host_gbps))
+    return sim, net, transports
+
+
+def fabric_cluster(
+    spec,
+    seed=1,
+    homa_cfg: HomaConfig | None = None,
+    workload: str = "W3",
+    **net_overrides,
+):
+    """Fabric from a TopologySpec + one HomaTransport per host.
+
+    ``build_fabric`` installs the spec's loss filters and arms its fault
+    schedule; clean 2-level specs lower to the canonical ``Network``.
+    """
+    sim = Simulator()
+    net = build_fabric(sim, spec, seed=seed, overrides=net_overrides)
     cfg = homa_cfg or HomaConfig()
     rtt = net.rtt_bytes()
     unsched = cfg.resolved_unsched_limit(rtt)

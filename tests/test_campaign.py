@@ -6,6 +6,8 @@ import json
 
 import pytest
 
+from repro.core.faults import FaultEvent, LossRates
+from repro.core.topology import TopologySpec
 from repro.experiments import campaign
 from repro.experiments.maxload import (
     MaxLoadResult,
@@ -19,7 +21,7 @@ from repro.experiments.runner import (
     run_experiment,
 )
 from repro.homa.config import HomaConfig
-from repro.metrics.control import ControlTraffic
+from repro.metrics.control import ControlTraffic, FabricHealth
 from repro.metrics.queues import QueueLevelStats
 from repro.metrics.slowdown import SlowdownTracker
 
@@ -88,7 +90,13 @@ def test_payload_round_trip_covers_every_field():
         hosts_per_rack=3, aggrs=1, duration_ms=2.5, warmup_ms=0.5,
         drain_ms=1.5, seed=7, mode="rpc_echo", max_messages=9,
         homa=HomaConfig(n_prios=4, cutoff_override=(100, 16129)),
-        collect=("queues",), net_overrides={"cut_through": True})
+        collect=("queues",), net_overrides={"cut_through": True},
+        fabric=TopologySpec(
+            levels=3, pods=2, racks=2, hosts_per_rack=4, aggrs=2,
+            cores=4, host_gbps=10, aggr_gbps=25, core_gbps=100,
+            loss=LossRates(tor=0.01, aggr=0.02, core=0.03),
+            faults=(FaultEvent(1.5, "link", "down", "tor0:aggr0.1"),
+                    FaultEvent(2.5, "switch", "down", "core3"))))
     cfg_defaults = ExperimentConfig()
     for f in dataclasses.fields(ExperimentConfig):
         assert getattr(cfg, f.name) != getattr(cfg_defaults, f.name), (
@@ -109,8 +117,12 @@ def test_payload_round_trip_covers_every_field():
         total_utilization=0.8, app_utilization=0.7,
         delay_breakdown=(1.25, 2.5), aborted=2,
         control=ControlTraffic(grants=3, resends=2, busys=1,
-                               grant_ticks=4),
-        backlog_mid_bytes=11, backlog_end_bytes=22)
+                               grant_ticks=4, rtx_data=6, rtx_recovered=5,
+                               give_ups=1),
+        backlog_mid_bytes=11, backlog_end_bytes=22,
+        fabric=FabricHealth(drops_tor=1, drops_aggr=2, drops_core=3,
+                            fault_drops=4, black_holes=5, reroutes=6,
+                            faults_applied=7))
     for f in dataclasses.fields(ExperimentResult):
         if f.default is not dataclasses.MISSING:
             assert getattr(result, f.name) != f.default, (

@@ -15,6 +15,13 @@ Conservation/physicality run in both grant-pacing modes (legacy
 per-packet and the default batched pacer); the other invariants hold
 for whichever mode the default config selects, with bounds read off
 the transport so they track the configuration.
+
+The loss axis re-checks conservation on lossy fabrics: with drops
+injected at every tier, an RPC may fail, but it must fail *loudly*
+(section 3.7 abort) — at event exhaustion every submitted RPC is
+accounted for as a completion or an error, client state has drained,
+and any leftover server response is a bounded dead-peer orphan
+(docs/FABRICS.md).
 """
 
 import pytest
@@ -24,7 +31,7 @@ from hypothesis import strategies as st
 from repro.core.units import MS
 from repro.homa.config import HomaConfig
 
-from tests.helpers import collect_completions, homa_cluster
+from tests.helpers import collect_completions, fabric_cluster, homa_cluster
 
 # A schedule is a list of (src, dst_offset, size, gap_us) tuples.
 schedules = st.lists(
@@ -159,3 +166,56 @@ def test_prop_rpc_conservation(sizes):
     sim.run(until_ps=400 * MS)
     assert sorted(done) == sorted(sizes)
     assert not transports[0].client_rpcs
+
+
+@given(schedules,
+       st.sampled_from([0.01, 0.03, 0.08]),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=8, deadline=None)
+def test_prop_rpc_conservation_under_loss(schedule, rate, seed):
+    """Conservation at event exhaustion on a lossy fabric.
+
+    With drops injected at every TOR an RPC may fail, but it must fail
+    loudly: every submission ends as exactly one completion or one
+    error (3.7 abort), client-side state drains completely, and the
+    only leftover sender state is dead-peer response orphans — bounded
+    by the errors and re-executions that created them.
+    """
+    from repro.apps.echo import echo_handler
+    from repro.core.faults import LossRates
+    from repro.core.topology import TopologySpec
+
+    spec = TopologySpec(levels=2, racks=2, hosts_per_rack=3, aggrs=1,
+                        loss=LossRates(tor=rate))
+    sim, net, transports = fabric_cluster(spec, seed=seed)
+    for transport in transports:
+        transport.rpc_handler = echo_handler
+    stats = {"done": 0, "errors": 0}
+
+    def submit(src, dst, size):
+        transports[src].send_rpc(
+            dst, size,
+            on_response=lambda rid, msg: stats.update(
+                done=stats["done"] + 1),
+            on_error=lambda rid: stats.update(
+                errors=stats["errors"] + 1))
+
+    clock = 0
+    for src, offset, size, gap_us in schedule:
+        clock += gap_us * 1_000_000
+        sim.schedule_at(clock, submit, src, (src + offset) % 6, size)
+    sim.run()  # to exhaustion: retry budgets guarantee termination
+
+    assert stats["done"] + stats["errors"] == len(schedule)
+    orphans = 0
+    for transport in transports:
+        assert not transport.client_rpcs
+        assert not transport.inbound
+        for msg in transport.outbound.values():
+            # Dead-peer orphan: an inert response whose client is gone.
+            assert not msg.is_request
+            assert msg.rpc_id not in transports[msg.dst].client_rpcs
+            orphans += 1
+    allowance = (stats["errors"]
+                 + sum(t.reexecutions for t in transports))
+    assert orphans <= allowance

@@ -47,6 +47,7 @@ def test_every_rule_has_fixture_coverage():
         "det-set-order",
         "det-id-order",
         "det-float-time-eq",
+        "fault-determinism",
         "hot-alloc",
         "payload-roundtrip",
         "doc-drift",
@@ -741,6 +742,85 @@ def test_registry_pragma_waives():
     )
     assert result.findings == []
     assert len(result.waived) == 3
+
+
+# -- fault-determinism --------------------------------------------------
+
+
+def test_fault_determinism_flags_wallclock_in_observer():
+    src = """
+        import time
+
+        def watch(event, now_ps):
+            stamp = time.time()
+            print(event, stamp)
+
+        injector.subscribe(watch)
+        """
+    hits = rule_hits(src, "fault-determinism", rel="benchmarks/bench_f.py")
+    assert [f.detail for f in hits] == ["watch:time.time"]
+
+
+def test_fault_determinism_flags_unseeded_rng_in_lambda_and_method():
+    src = """
+        import random
+
+        class Harness:
+            def arm(self, injector):
+                injector.subscribe(self.on_fault)
+                injector.subscribe(lambda ev, now: random.random())
+
+            def on_fault(self, event, now_ps):
+                self.jitter = random.Random()
+        """
+    hits = rule_hits(src, "fault-determinism", rel="tests/helper.py")
+    assert sorted(f.detail for f in hits) == [
+        "<lambda>:random.random",
+        "on_fault:random.Random",
+    ]
+
+
+def test_fault_determinism_passes_seeded_and_simtime_observers():
+    src = """
+        import random
+
+        def make_observer(seed):
+            rng = random.Random(seed * 7919)
+
+            def watch(event, now_ps):
+                return (now_ps, rng.random())
+
+            injector.subscribe(watch)
+        """
+    assert rule_hits(src, "fault-determinism", rel="benchmarks/bench_f.py") == []
+
+
+def test_fault_determinism_skips_unresolvable_callbacks():
+    src = """
+        import helpers
+
+        injector.subscribe(helpers.observer)
+        injector.subscribe(obj.method)
+        """
+    assert rule_hits(src, "fault-determinism", rel="tests/helper.py") == []
+
+
+def test_fault_determinism_pragma_waives():
+    src = """
+        import time
+
+        def watch(event, now_ps):
+            stamp = time.time()  # simlint: ok(fault-determinism) — fixture: wall profiling beside sim state
+            return stamp
+
+        injector.subscribe(watch)
+        """
+    result = analyze_source(
+        textwrap.dedent(src), rel="tests/helper.py",
+        rules=["fault-determinism"]
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.waived] == ["fault-determinism"]
 
 
 # -- pragma hygiene -----------------------------------------------------

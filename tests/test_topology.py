@@ -172,3 +172,110 @@ def test_scaled_config_overrides():
     cfg = NetworkConfig().scaled(racks=3, hosts_per_rack=4)
     assert cfg.racks == 3 and cfg.n_hosts == 12
     assert NetworkConfig().racks == 9  # original untouched
+
+
+# ---------------------------------------------------------------------------
+# declarative TopologySpec fabrics (3-level, asymmetric speeds)
+# ---------------------------------------------------------------------------
+
+from repro.core.topology import TopologySpec, build_fabric  # noqa: E402
+
+# 2 pods x 2 racks x 2 hosts with a 10/25/100 speed mix: every tier
+# serializes at a different rate, so the oracle must mix per-layer
+# ps-per-byte correctly or the exactness asserts below catch it.
+SPEC3 = TopologySpec(levels=3, pods=2, racks=2, hosts_per_rack=2,
+                     aggrs=2, cores=4, host_gbps=10, aggr_gbps=25,
+                     core_gbps=100)
+
+
+def make_fabric(spec=SPEC3, seed=1):
+    sim = Simulator()
+    return sim, build_fabric(sim, spec, seed=seed)
+
+
+@pytest.mark.parametrize("dst,tier", [
+    (1, "same-rack"),       # one ToR hop
+    (2, "intra-pod"),       # ToR-aggr-ToR, the 2-level bound
+    (7, "cross-pod"),       # ToR-aggr-core-aggr-ToR
+])
+@pytest.mark.parametrize("size", [200, 1000, 1460])
+def test_fabric_delivery_time_matches_tier_oracle(dst, tier, size):
+    """Idle single-packet delivery is byte-exact against
+    ``min_oneway_between`` on every tier of an asymmetric 3-level
+    fabric — the oracle is the contract slowdown normalizes by."""
+    sim, net = make_fabric()
+    sinks = net.attach_transports(lambda host: _Sink())
+    pkt = Packet(0, dst, PacketType.DATA, payload=size, prio=5,
+                 rpc_id=1, total_length=size)
+    net.hosts[0].egress._transmit(pkt)
+    sim.run()
+    assert len(sinks[dst].received) == 1, tier
+    arrival, received = sinks[dst].received[0]
+    assert received is pkt
+    assert arrival == net.min_oneway_between(0, dst, size), tier
+
+
+def test_fabric_oracle_tiers_strictly_ordered():
+    sim, net = make_fabric()
+    same_rack = net.min_oneway_between(0, 1, 1000)
+    intra_pod = net.min_oneway_between(0, 2, 1000)
+    cross_pod = net.min_oneway_between(0, 7, 1000)
+    assert same_rack < intra_pod < cross_pod
+    # Intra-pod is exactly the 2-level cross-rack bound.
+    assert intra_pod == net.min_oneway_ps(1000, False)
+
+
+def test_fabric_rpc_oracle_is_sum_of_legs():
+    sim, net = make_fabric()
+    assert net.min_rpc_between(0, 7, 400, 2000) == (
+        net.min_oneway_between(0, 7, 400)
+        + net.min_oneway_between(7, 0, 2000))
+
+
+def test_fabric_pod_helpers():
+    sim, net = make_fabric()
+    assert net.pod_of(0) == 0 and net.pod_of(3) == 0
+    assert net.pod_of(4) == 1 and net.pod_of(7) == 1
+    assert net.same_pod(0, 3) and not net.same_pod(3, 4)
+
+
+def test_oversubscription_is_emergent_arithmetic():
+    # 2 hosts x 10G into 2 aggr uplinks x 25G: undersubscribed ToRs;
+    # 2 racks x 25G into 2 core links x 100G per aggr.
+    assert SPEC3.tor_oversubscription == pytest.approx(2 * 10 / (2 * 25))
+    assert SPEC3.aggr_oversubscription == pytest.approx(2 * 25 / (2 * 100))
+    assert SPEC3.core_links_per_aggr == 2
+    assert SPEC3.racks_total == 4 and SPEC3.n_hosts == 8
+    # 3:1 oversubscribed ToRs, the paper's Figure 11 flavor.
+    fat = TopologySpec(levels=2, racks=3, hosts_per_rack=12, aggrs=2,
+                       host_gbps=10, aggr_gbps=20)
+    assert fat.tor_oversubscription == pytest.approx(3.0)
+    assert fat.aggr_oversubscription == 0.0  # no core layer
+    # A single rack has no uplinks to oversubscribe.
+    lone = TopologySpec(levels=2, racks=1, hosts_per_rack=16, aggrs=1)
+    assert lone.tor_oversubscription == 0.0
+
+
+_BASE3 = dict(levels=3, pods=2, racks=2, hosts_per_rack=2, aggrs=2,
+              cores=4, aggr_gbps=40, core_gbps=100)
+
+
+@pytest.mark.parametrize("kwargs,field", [
+    ({"levels": 4}, "levels"),
+    ({"pods": 2}, "pods"),                      # pods on a 2-level tree
+    ({"cores": 4}, "cores"),                    # cores on a 2-level tree
+    ({**_BASE3, "pods": 1}, "pods"),            # 3-level needs >= 2 pods
+    ({**_BASE3, "cores": 3}, "cores"),          # not a multiple of aggrs
+    ({"racks": 0}, "racks"),
+    ({"hosts_per_rack": 0}, "hosts_per_rack"),
+    ({"racks": 2, "aggrs": 0}, "aggrs"),
+    ({"host_gbps": 0}, "host_gbps"),
+    ({"aggr_gbps": 5}, "aggr_gbps"),            # slower than hosts
+    ({**_BASE3, "core_gbps": 20}, "core_gbps"),  # slower than aggrs
+    ({"switch_delay_ns": -1}, "switch_delay_ns"),
+    ({"software_delay_ns": -5}, "software_delay_ns"),
+    ({"loss": 0.1}, "loss"),
+])
+def test_malformed_spec_names_the_field(kwargs, field):
+    with pytest.raises(ValueError, match=rf"TopologySpec\.{field}"):
+        TopologySpec(**kwargs)
