@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``run``       — one simulation (protocol x workload x load), slowdown table
-* ``campaign``  — regenerate a paper figure's whole simulation grid,
-  sharded over a process pool, with on-disk result caching
-* ``workloads`` — list the built-in workloads
-* ``alloc``     — show Homa's priority allocation for a workload
+* ``run``         — one simulation (protocol x workload x load),
+  slowdown table
+* ``campaign``    — regenerate a paper figure's whole simulation grid,
+  sharded over a process pool (or a worker farm via ``--farm``), with
+  on-disk result caching
+* ``farm-worker`` — join a campaign farm coordinator and compute cells
+* ``workloads``   — list the built-in workloads
+* ``alloc``       — show Homa's priority allocation for a workload
 """
 
 from __future__ import annotations
@@ -75,7 +78,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # Figure pairs (8/9, 12/13) share one module; run each module once.
     modules = {name: importlib.import_module(name) for name in
                dict.fromkeys(CAMPAIGNS[target][0] for target in targets)}
-    if len(modules) > 1:
+    if getattr(args, "farm", None) is not None:
+        # Warm the shared cache over the worker farm (falls back to the
+        # local pool when nobody connects), then render per figure from
+        # cache hits — byte-identical either way.
+        from repro.experiments import farm as farm_mod
+        host, port = farm_mod.parse_address(args.farm)
+        specs = []
+        pooled_modules = set()
+        for name, module in modules.items():
+            if hasattr(module, "campaign_specs"):
+                specs.extend(module.campaign_specs())
+            elif hasattr(module, "campaign_spec"):
+                specs.append(module.campaign_spec())
+            else:
+                continue
+            pooled_modules.add(name)
+        if specs:
+            farm_mod.run_farm(specs, host=host, port=port, jobs=args.jobs,
+                              fresh=args.fresh, farm_wait_s=args.farm_wait,
+                              retry_budget=args.farm_retries)
+    elif len(modules) > 1:
         # Pool every figure's pending cells into one global
         # largest-cell-first queue, so workers stay busy across the
         # skewed per-figure grids (W5 cells dominate).  This warms the
@@ -105,6 +128,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print("artifacts:")
     for path in paths:
         print(f"  {path}")
+    return 0
+
+
+def _cmd_farm_worker(args: argparse.Namespace) -> int:
+    bench_dir = _bench_dir()
+    if bench_dir.is_dir() and str(bench_dir) not in sys.path:
+        # Custom cell tasks (e.g. bench_fig10_incast:incast_task) live
+        # in benchmarks/; workers resolve them the same way the local
+        # pool's initializer does.
+        sys.path.insert(0, str(bench_dir))
+    from repro.experiments import farm as farm_mod
+    try:
+        host, port = farm_mod.parse_address(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _die() -> None:
+        # Chaos hook for the CI death-retry battery: die abruptly (no
+        # cleanup, no FIN handshake beyond the kernel's) mid-cell.
+        import os
+        import signal
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    completed = farm_mod.worker_loop(
+        host, port, name=args.name, heartbeat_s=args.heartbeat,
+        die_after=args.die_after,
+        on_die=_die if args.die_after is not None else None,
+        quiet=False)
+    print(f"farm-worker: {completed} cell(s) completed", file=sys.stderr)
     return 0
 
 
@@ -174,7 +227,37 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--fresh", action="store_true",
                           help="ignore cached results (recompute and "
                                "repopulate the cache)")
+    campaign.add_argument("--farm", metavar="HOST:PORT", default=None,
+                          help="serve the cell queue to farm workers on "
+                               "this address (port 0 = ephemeral); falls "
+                               "back to the local pool if none connect")
+    campaign.add_argument("--farm-wait", type=float, default=10.0,
+                          help="grace seconds before the no-worker local "
+                               "fallback (default 10)")
+    campaign.add_argument("--farm-retries", type=int, default=2,
+                          help="worker deaths one cell survives before "
+                               "the sweep fails (default 2)")
     campaign.set_defaults(fn=_cmd_campaign)
+
+    worker = sub.add_parser(
+        "farm-worker",
+        help="join a campaign farm and compute cells",
+        description="Connects to a `repro campaign --farm` coordinator, "
+                    "pulls cells from its global queue, and streams "
+                    "results back.  See docs/CAMPAIGNS.md (farm section).")
+    worker.add_argument("address", metavar="HOST:PORT",
+                        help="coordinator address")
+    worker.add_argument("--name", default=None,
+                        help="worker name shown in coordinator logs")
+    worker.add_argument("--heartbeat", type=float, default=2.0,
+                        help="seconds between liveness pings while a "
+                             "cell computes (default 2)")
+    worker.add_argument("--die-after", type=int, default=None,
+                        metavar="N",
+                        help="chaos hook: SIGKILL self upon receiving "
+                             "the Nth cell (tests the coordinator's "
+                             "death-requeue path)")
+    worker.set_defaults(fn=_cmd_farm_worker)
 
     workloads = sub.add_parser("workloads", help="list built-in workloads")
     workloads.set_defaults(fn=_cmd_workloads)

@@ -27,6 +27,7 @@ from repro.analysis.core import (
 
 # Importing the rule modules registers their rules.
 from repro.analysis import (  # noqa: E402  (registration side effects)
+    rules_campaign,
     rules_determinism,
     rules_docs,
     rules_faults,
@@ -54,6 +55,7 @@ __all__ = [
     "load_baseline",
     "run",
     "write_baseline",
+    "rules_campaign",
     "rules_determinism",
     "rules_docs",
     "rules_faults",

@@ -1,0 +1,144 @@
+"""Campaign-spec completeness.
+
+The campaign layer only reaches a grid the CLI can see: ``python -m
+repro campaign`` discovers figures through ``paper_data.CAMPAIGNS`` and
+pools cells through each bench module's ``campaign_specs()`` /
+``campaign_spec()`` hook, and the farm path does the same.  A
+``benchmarks/bench_*.py`` that constructs a ``CampaignSpec`` but skips
+any of those hooks runs fine standalone while silently dropping out of
+``campaign all``, ``--farm`` sweeps, and the pooled cache warm-up — the
+exact drift this rule pins:
+
+* it must define ``run_figure`` (the render entry point every campaign
+  module exposes);
+* it must define ``campaign_specs`` or ``campaign_spec`` (the pooling
+  hook);
+* its module name must be registered in ``paper_data.CAMPAIGNS``.
+
+The registered-module set is recomputed from paper_data's AST (the
+first element of each ``CAMPAIGNS`` value tuple), so the rule needs no
+imports of benchmark code.  When paper_data is outside the analyzed
+file set (single-snippet fixtures), the registration check is skipped
+and only the export checks run.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Finding,
+    Module,
+    Project,
+    canonical_call,
+    import_map,
+    rule,
+)
+
+PAPER_DATA_REL = "src/repro/experiments/paper_data.py"
+CAMPAIGNS_NAME = "CAMPAIGNS"
+
+#: pooling hooks the CLI probes for, in probe order
+SPEC_HOOKS = ("campaign_specs", "campaign_spec")
+
+
+def _constructs_campaign_spec(mod: Module) -> int | None:
+    """Line of the first ``CampaignSpec(...)`` call, else ``None``."""
+    imports = import_map(mod.tree)
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        canon = canonical_call(node, imports)
+        if canon is not None and canon.split(".")[-1] == "CampaignSpec":
+            return node.lineno
+    return None
+
+
+def _registered_modules(paper_data: Module) -> set[str] | None:
+    """Module names registered in CAMPAIGNS, or ``None`` if the dict
+    literal cannot be found (rule then reports that instead)."""
+    for node in ast.walk(paper_data.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == CAMPAIGNS_NAME
+                   for t in node.targets):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        registered: set[str] = set()
+        for value in node.value.values:
+            if (isinstance(value, ast.Tuple) and value.elts
+                    and isinstance(value.elts[0], ast.Constant)
+                    and isinstance(value.elts[0].value, str)):
+                registered.add(value.elts[0].value)
+        return registered
+    return None
+
+
+@rule("campaign-registry")
+def check_campaign_registry(project: Project) -> list[Finding]:
+    """Every bench module with a CampaignSpec is a complete campaign.
+
+    Complete = exposes ``run_figure`` and a pooling hook, and appears
+    in ``paper_data.CAMPAIGNS`` so the CLI/farm can discover it.
+    """
+    paper_data = project.by_rel.get(PAPER_DATA_REL)
+    registered = (_registered_modules(paper_data)
+                  if paper_data is not None else None)
+    out: list[Finding] = []
+    if paper_data is not None and registered is None:
+        out.append(Finding(
+            rule="campaign-registry",
+            path=PAPER_DATA_REL,
+            line=0,
+            scope="<module>",
+            detail="campaigns-not-a-dict-literal",
+            message=f"{CAMPAIGNS_NAME} in paper_data.py must be a dict "
+                    f"literal of 'figure: (module, description)' so the "
+                    f"registered set is statically recomputable",
+        ))
+    for rel in sorted(project.by_rel):
+        mod = project.by_rel[rel]
+        name = rel.rsplit("/", 1)[-1]
+        if not (rel.startswith("benchmarks/") and name.startswith("bench_")
+                and name.endswith(".py")):
+            continue
+        spec_line = _constructs_campaign_spec(mod)
+        if spec_line is None:
+            continue
+        module_name = name[:-3]
+        if "run_figure" not in mod.functions:
+            out.append(Finding(
+                rule="campaign-registry",
+                path=rel,
+                line=spec_line,
+                scope="<module>",
+                detail="missing-run-figure",
+                message=f"{module_name} constructs a CampaignSpec but "
+                        f"defines no run_figure(); the campaign CLI "
+                        f"cannot render it",
+            ))
+        if not any(hook in mod.functions for hook in SPEC_HOOKS):
+            out.append(Finding(
+                rule="campaign-registry",
+                path=rel,
+                line=spec_line,
+                scope="<module>",
+                detail="missing-campaign-specs",
+                message=f"{module_name} constructs a CampaignSpec but "
+                        f"defines neither campaign_specs() nor "
+                        f"campaign_spec(); its cells never join the "
+                        f"pooled/farmed global queue",
+            ))
+        if registered is not None and module_name not in registered:
+            out.append(Finding(
+                rule="campaign-registry",
+                path=rel,
+                line=spec_line,
+                scope="<module>",
+                detail=f"unregistered:{module_name}",
+                message=f"{module_name} constructs a CampaignSpec but is "
+                        f"not registered in paper_data.{CAMPAIGNS_NAME}; "
+                        f"'campaign all' and --farm sweeps skip it",
+            ))
+    return out

@@ -273,6 +273,11 @@ class CampaignResults(dict):
     computed: int = 0
     cached: int = 0
     wall_seconds: float = 0.0
+    # populated by experiments.farm when the sweep ran over a worker farm
+    farm_workers: int = 0
+    farm_requeues: int = 0
+    farm_resumed: int = 0
+    farm_fallback: bool = False
 
 
 def resolve_jobs(jobs: int | None = None) -> int:

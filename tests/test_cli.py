@@ -58,6 +58,33 @@ def test_campaign_parser_accepts_jobs_and_fresh():
     assert args.figure == "fig12" and args.jobs == 4 and args.fresh
 
 
+def test_campaign_parser_accepts_farm_flags():
+    args = build_parser().parse_args(
+        ["campaign", "fig17", "--farm", "127.0.0.1:0",
+         "--farm-wait", "3", "--farm-retries", "1"])
+    assert args.farm == "127.0.0.1:0"
+    assert args.farm_wait == 3.0 and args.farm_retries == 1
+
+
+def test_campaign_farm_defaults_to_local_pool():
+    args = build_parser().parse_args(["campaign", "fig17"])
+    assert args.farm is None
+
+
+def test_farm_worker_parser():
+    args = build_parser().parse_args(
+        ["farm-worker", "10.0.0.2:9000", "--name", "w1",
+         "--heartbeat", "1.5", "--die-after", "2"])
+    assert args.address == "10.0.0.2:9000"
+    assert args.name == "w1"
+    assert args.heartbeat == 1.5 and args.die_after == 2
+
+
+def test_farm_worker_rejects_bad_address(capsys):
+    assert main(["farm-worker", "not-an-address"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_protocol():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--protocol", "quic"])

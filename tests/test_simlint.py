@@ -53,6 +53,7 @@ def test_every_rule_has_fixture_coverage():
         "doc-drift",
         "registry-hooks",
         "sched-arity",
+        "campaign-registry",
     }
     assert RULES["hot-alloc"].tier == "advisory"
 
@@ -742,6 +743,122 @@ def test_registry_pragma_waives():
     )
     assert result.findings == []
     assert len(result.waived) == 3
+
+
+# -- campaign-registry --------------------------------------------------
+
+PAPER_DATA_SRC = textwrap.dedent(
+    """
+    CAMPAIGNS = {
+        "fig99": ("bench_fig99_demo", "demo figure"),
+    }
+    """
+)
+
+COMPLETE_BENCH_SRC = textwrap.dedent(
+    """
+    from repro.experiments.campaign import CampaignSpec, Cell
+
+    def campaign_spec():
+        return CampaignSpec(name="fig99", cells=[Cell(key=1, spec={})])
+
+    def run_figure(jobs=None, fresh=False):
+        return []
+    """
+)
+
+
+def _campaign_project(bench_src, bench_rel="benchmarks/bench_fig99_demo.py"):
+    modules = [
+        Module("src/repro/experiments/paper_data.py", PAPER_DATA_SRC),
+        Module(bench_rel, textwrap.dedent(bench_src)),
+    ]
+    return run(Project(modules), rules=["campaign-registry"])
+
+
+def test_campaign_complete_bench_passes():
+    assert _campaign_project(COMPLETE_BENCH_SRC).findings == []
+
+
+def test_campaign_missing_hooks_fail():
+    result = _campaign_project(
+        """
+        from repro.experiments.campaign import CampaignSpec, Cell
+
+        SPEC = CampaignSpec(name="fig99", cells=[Cell(key=1, spec={})])
+        """
+    )
+    assert sorted(f.detail for f in result.findings) == [
+        "missing-campaign-specs",
+        "missing-run-figure",
+    ]
+
+
+def test_campaign_unregistered_module_fails():
+    result = _campaign_project(
+        COMPLETE_BENCH_SRC, bench_rel="benchmarks/bench_fig98_rogue.py"
+    )
+    assert [f.detail for f in result.findings] == [
+        "unregistered:bench_fig98_rogue"
+    ]
+
+
+def test_campaign_rule_ignores_non_bench_and_specless_files():
+    # CampaignSpec constructed outside benchmarks/bench_*.py: not scoped.
+    assert rule_hits(
+        """
+        from repro.experiments.campaign import CampaignSpec
+        SPEC = CampaignSpec(name="x", cells=[])
+        """,
+        "campaign-registry",
+        rel="tests/helpers_farm.py",
+    ) == []
+    # A bench module with no CampaignSpec owes nothing.
+    assert _campaign_project(
+        """
+        def run_bench():
+            return 42
+        """
+    ).findings == []
+
+
+def test_campaign_specs_plural_hook_counts():
+    result = _campaign_project(
+        """
+        from repro.experiments.campaign import CampaignSpec, Cell
+
+        def campaign_specs():
+            return [CampaignSpec(name="fig99", cells=[Cell(key=1, spec={})])]
+
+        def run_figure(jobs=None, fresh=False):
+            return []
+        """
+    )
+    assert result.findings == []
+
+
+def test_campaign_non_dict_campaigns_reported():
+    modules = [
+        Module("src/repro/experiments/paper_data.py",
+               "CAMPAIGNS = dict(fig99=('bench_fig99_demo', 'demo'))\n"),
+        Module("benchmarks/bench_fig99_demo.py", COMPLETE_BENCH_SRC),
+    ]
+    result = run(Project(modules), rules=["campaign-registry"])
+    assert [f.detail for f in result.findings] == [
+        "campaigns-not-a-dict-literal"
+    ]
+
+
+def test_campaign_registry_pragma_waives():
+    result = _campaign_project(
+        COMPLETE_BENCH_SRC.replace(
+            "return CampaignSpec(",
+            "return CampaignSpec(  # simlint: ok(campaign-registry) — fixture: scratch bench\n            ",
+        ),
+        bench_rel="benchmarks/bench_fig98_rogue.py",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.waived] == ["campaign-registry"]
 
 
 # -- fault-determinism --------------------------------------------------
