@@ -1,7 +1,8 @@
 """Fabric stress grid: oversubscription, loss, and failure injection.
 
-Four cells stress the declarative-fabric layer (docs/FABRICS.md) end
-to end, plus a golden pair pinning that the layer is free when unused:
+The homa-centric cells stress the declarative-fabric layer
+(docs/FABRICS.md) end to end, plus a golden pair pinning that the
+layer is free when unused:
 
 * ``clean-plain`` / ``clean-spec`` — the same 2-level shape built from
   a ``NetworkConfig`` and from a clean ``TopologySpec``; their
@@ -13,10 +14,16 @@ to end, plus a golden pair pinning that the layer is free when unused:
 * ``faulty-3level`` — the same fabric plus a link-down / switch-down /
   link-restore schedule firing mid-generation.
 
+On top of that, a recovery grid runs **every loss-validated protocol**
+(``registry.LOSS_VALIDATED`` — the full registry) through two loss
+rates and one mid-run link-outage schedule on the 2-level shape:
+``<proto>-loss-lo``, ``<proto>-loss-hi``, and ``<proto>-faulty``.
+
 ``--smoke`` asserts the battery's contract: digest identity for the
-clean pair; nonzero drops and nonzero *successful* retransmissions on
-every degraded cell; applied faults and reroutes on the faulty cell;
-and zero invariant violations (physicality, accounting) anywhere.
+clean pair; nonzero drops on every degraded cell; for every protocol,
+nonzero retransmissions with at least one *successful* recovery across
+its cells; applied faults on every faulty cell; and zero invariant
+violations (physicality, accounting, recovery counters) anywhere.
 """
 
 import argparse
@@ -41,6 +48,9 @@ WORKLOAD = "W3"
 LOAD = 0.5
 LOSS2 = LossRates(tor=0.01, aggr=0.01)
 LOSS3 = LossRates(tor=0.01, aggr=0.01, core=0.01)
+#: recovery-grid loss rates (every protocol runs at both)
+LOSS_LO = LossRates(tor=0.005, aggr=0.005)
+LOSS_HI = LossRates(tor=0.03, aggr=0.015)
 
 #: 3-level two-pod shapes per scale (2-level cells reuse the scale's
 #: canonical racks/hosts_per_rack/aggrs so the clean pair stays the
@@ -95,6 +105,24 @@ def campaign_spec() -> campaign.CampaignSpec:
                                 **shape3),
             **base),
     }
+    # Recovery grid: every validated protocol x {loss-lo, loss-hi,
+    # faulty}.  The outage downs one rack-0 uplink mid-generation and
+    # restores it, so backed-off retries must span the hole.
+    shape2 = dict(levels=2, racks=spec2.racks,
+                  hosts_per_rack=spec2.hosts_per_rack, aggrs=spec2.aggrs)
+    outage = (FaultEvent(0.35 * window_ms, "link", "down", "tor0:aggr0.0"),
+              FaultEvent(0.80 * window_ms, "link", "up", "tor0:aggr0.0"))
+    proto_base = dict(base)
+    del proto_base["protocol"]
+    for proto in LOSS_VALIDATED:
+        for tag, rates in (("loss-lo", LOSS_LO), ("loss-hi", LOSS_HI)):
+            cfgs[f"{proto}-{tag}"] = ExperimentConfig(
+                protocol=proto,
+                fabric=TopologySpec(loss=rates, **shape2), **proto_base)
+        cfgs[f"{proto}-faulty"] = ExperimentConfig(
+            protocol=proto,
+            fabric=TopologySpec(loss=LOSS_LO, faults=outage, **shape2),
+            **proto_base)
     assert "homa" in LOSS_VALIDATED  # the grid's protocol must be gated in
     assert spec3.aggr_oversubscription > 0  # genuinely oversubscribed core
     return campaign.experiment_grid("fabric", cfgs)
@@ -105,6 +133,9 @@ def _violations(key, result) -> list[str]:
     out = []
     if result.completed + result.pending != result.submitted:
         out.append(f"{key}: completed+pending != submitted")
+    if result.completed > result.submitted:
+        out.append(f"{key}: more completions than submissions "
+                   "(duplicate delivery)")
     if any(s < 1.0 for s in result.tracker.slowdowns):
         out.append(f"{key}: slowdown below the idle-network oracle")
     if result.control.rtx_recovered > result.control.rtx_data:
@@ -155,6 +186,22 @@ def check(results) -> None:
     faulty = results["faulty-3level"]
     assert faulty.fabric.faults_applied == 3
     assert faulty.fabric.reroutes > 0
+    # Recovery grid: every validated protocol survives both loss rates
+    # and the outage — drops everywhere, and retransmission genuinely
+    # recovers data (not merely fires) somewhere in its cells.
+    for proto in LOSS_VALIDATED:
+        cells = {tag: results[f"{proto}-{tag}"]
+                 for tag in ("loss-lo", "loss-hi", "faulty")}
+        for tag, result in cells.items():
+            assert result.tracker.slowdowns, f"{proto}-{tag}: vacuous run"
+            assert result.fabric.total_drops > 0, \
+                f"{proto}-{tag}: no drops injected"
+        assert cells["faulty"].fabric.faults_applied == 2
+        rtx = sum(c.control.rtx_data for c in cells.values())
+        recovered = sum(c.control.rtx_recovered for c in cells.values())
+        assert rtx > 0, f"{proto}: nothing retransmitted in any cell"
+        assert recovered > 0, \
+            f"{proto}: no message ever completed via retransmission"
     violations = [v for key, result in results.items()
                   for v in _violations(key, result)]
     assert not violations, violations

@@ -35,6 +35,7 @@ from repro.analysis import (  # noqa: E402  (registration side effects)
     rules_payload,
     rules_registry,
     rules_sched,
+    rules_units,
 )
 
 __all__ = [
@@ -63,4 +64,5 @@ __all__ = [
     "rules_payload",
     "rules_registry",
     "rules_sched",
+    "rules_units",
 ]

@@ -1,8 +1,9 @@
 """Config/doc drift.
 
 Every field of the user-facing config classes (``HomaConfig``,
-``NetworkConfig``, and the declarative-fabric surface ``TopologySpec``
-/ ``LossRates`` / ``FaultEvent``) must be mentioned somewhere in the
+``NetworkConfig``, the declarative-fabric surface ``TopologySpec``
+/ ``LossRates`` / ``FaultEvent``, and the loss-recovery policy
+``RecoveryConfig``) must be mentioned somewhere in the
 repo's markdown (README/docs/**).  The canonical field reference is
 docs/CONFIG.md; this rule is what keeps it from rotting when someone
 adds a knob.
@@ -21,7 +22,7 @@ from repro.analysis.core import Finding, Project, rule
 
 #: class names whose fields constitute the user-facing config surface
 CONFIG_CLASS_NAMES = ("HomaConfig", "NetworkConfig", "TopologySpec",
-                      "LossRates", "FaultEvent")
+                      "LossRates", "FaultEvent", "RecoveryConfig")
 
 #: the canonical field-reference document (checked bidirectionally)
 CONFIG_DOC = "docs/CONFIG.md"
@@ -47,12 +48,46 @@ def check_doc_drift(project: Project) -> list[Finding]:
             if cls is None:
                 continue
             for stmt in cls.body:
-                if not (
+                # Dataclass-style annotated fields, or a plain class's
+                # ``__slots__`` tuple (e.g. RecoveryConfig).
+                if (
                     isinstance(stmt, ast.AnnAssign)
                     and isinstance(stmt.target, ast.Name)
-                ) or stmt.target.id.startswith("_"):
+                    and not stmt.target.id.startswith("_")
+                ):
+                    field = stmt.target.id
+                elif (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == "__slots__"
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                ):
+                    for elt in stmt.value.elts:
+                        if (isinstance(elt, ast.Constant)
+                                and isinstance(elt.value, str)
+                                and not elt.value.startswith("_")):
+                            known_fields.add(elt.value)
+                            if not re.search(
+                                    rf"\b{re.escape(elt.value)}\b",
+                                    all_docs):
+                                out.append(
+                                    Finding(
+                                        rule="doc-drift",
+                                        path=mod.rel,
+                                        line=stmt.lineno,
+                                        scope=cls_name,
+                                        detail=f"undocumented:{elt.value}",
+                                        message=(
+                                            f"{cls_name}.{elt.value} is not "
+                                            f"mentioned in any markdown doc; "
+                                            f"add it to {CONFIG_DOC}"
+                                        ),
+                                    )
+                                )
                     continue
-                field = stmt.target.id
+                else:
+                    continue
                 known_fields.add(field)
                 if not re.search(rf"\b{re.escape(field)}\b", all_docs):
                     out.append(

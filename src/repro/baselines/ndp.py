@@ -17,6 +17,17 @@ Mechanics reproduced here:
 
 As in the paper, NDP is only exercised with workload W5, where all
 packets are full size.
+
+Loss recovery (docs/FABRICS.md, active only with a RecoveryConfig):
+trimming only protects against congestion loss — when the fabric
+destroys a packet outright (random loss, a dying link) no header
+survives to NACK, yet the receiver's pull counter already charged
+those bytes, so pulls stop and the flow livelocks.  The receiver
+therefore re-NACKs gaps below the pulled horizon on a RecoveryTracker
+timeout and rolls the pull counter back (mirroring ``_on_trimmed``);
+the sender blind-retransmits the first unacked gap when ACK silence
+suggests the loss swallowed even the NACK path.  Both sides carry a
+bounded give-up budget.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from repro.core.packet import (
     PacketType,
 )
 from repro.core.units import ps_per_byte
-from repro.transport.base import Transport
+from repro.transport.base import RecoveryConfig, Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 
 #: low priority for data packets; control/trimmed headers use CTRL_PRIO
@@ -64,8 +75,9 @@ class NdpTransport(Transport):
 
     protocol_name = "ndp"
 
-    def __init__(self, sim: Simulator, *, rtt_bytes: int, host_gbps: int = 10) -> None:
-        super().__init__(sim)
+    def __init__(self, sim: Simulator, *, rtt_bytes: int, host_gbps: int = 10,
+                 recovery: RecoveryConfig | None = None) -> None:
+        super().__init__(sim, recovery)
         self.first_window = -(-rtt_bytes // MAX_PAYLOAD) * MAX_PAYLOAD
         self.pull_interval_ps = FULL_WIRE * ps_per_byte(host_gbps)
         self.flows: dict[int, _NdpFlow] = {}
@@ -76,6 +88,9 @@ class NdpTransport(Transport):
         self._pacer = None
         self.nacks_received = 0
         self.pulls_sent = 0
+        # Loss recovery (None on clean fabrics).
+        self._flow_watch = self._tracker(self._flow_expire, self._flow_give_up)
+        self._in_watch = self._tracker(self._in_expire, self._in_give_up)
 
     # ------------------------------------------------------------------
     # sending
@@ -86,6 +101,8 @@ class NdpTransport(Transport):
                               unsched_limit=self.first_window,
                               created_ps=self.sim.now)
         self.flows[msg.key] = _NdpFlow(msg)
+        if self._flow_watch is not None:
+            self._flow_watch.watch(msg.key)
         self.kick()
         return msg
 
@@ -115,6 +132,8 @@ class NdpTransport(Transport):
             size = min(MAX_PAYLOAD, msg.length - offset)
             msg.sent += size
             retx = False
+        if retx:
+            self.rtx_data_sent += 1
         if msg.sent >= msg.length and not flow.rtx:
             # State stays for NACK handling until fully acked; NDP keeps
             # it simple here: drop when nothing further can be asked.
@@ -154,12 +173,21 @@ class NdpTransport(Transport):
             if self._pulls_issued[key] < pkt.total_length:
                 self._pull_ring.append(key)
                 self._ensure_pacer()
+            if self._in_watch is not None:
+                self._in_watch.watch(key)
         return msg
 
     def _on_trimmed(self, pkt: Packet) -> None:
         """A header survived where the payload was cut: NACK it so the
         sender retransmits when pulled."""
+        if (self._in_watch is not None and pkt.msg_key not in self.inbound
+                and self._recently_done(pkt.msg_key)):
+            self._note_done(pkt.msg_key)  # refresh: peer still retrying
+            self._ack_offset(pkt)  # late duplicate of a completed message
+            return
         msg = self._register_inbound(pkt)
+        if self._in_watch is not None:
+            self._in_watch.touch(msg.key)
         self.send_ctrl(Packet(
             self.hid, pkt.src, PacketType.NACK, prio=CTRL_PRIO,
             rpc_id=pkt.rpc_id, is_request=True,
@@ -173,11 +201,18 @@ class NdpTransport(Transport):
         self._ensure_pacer()
 
     def _on_data(self, pkt: Packet) -> None:
+        if (self._in_watch is not None and pkt.msg_key not in self.inbound
+                and self._recently_done(pkt.msg_key)):
+            self._note_done(pkt.msg_key)  # refresh: peer still retrying
+            self._ack_offset(pkt)  # late retransmission: re-ACK only
+            return
         msg = self._register_inbound(pkt)
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
-        self.send_ctrl(Packet(
-            self.hid, pkt.src, PacketType.ACK, prio=CTRL_PRIO,
-            rpc_id=pkt.rpc_id, is_request=True, offset=pkt.offset))
+        added = msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if pkt.retx and added:
+            self.rtx_recovered += 1
+        if self._in_watch is not None:
+            self._in_watch.touch(msg.key)
+        self._ack_offset(pkt)
         if msg.is_complete():
             key = msg.key
             del self.inbound[key]
@@ -186,13 +221,23 @@ class NdpTransport(Transport):
                 self._pull_ring.remove(key)
             except ValueError:
                 pass
+            if self._in_watch is not None:
+                self._in_watch.forget(key)
+                self._note_done(key)
             self._report_complete(msg)
+
+    def _ack_offset(self, pkt: Packet) -> None:
+        self.send_ctrl(Packet(
+            self.hid, pkt.src, PacketType.ACK, prio=CTRL_PRIO,
+            rpc_id=pkt.rpc_id, is_request=True, offset=pkt.offset))
 
     def _on_pull(self, pkt: Packet) -> None:
         flow = self.flows.get(pkt.msg_key)
         if flow is None:
             return
         flow.pull_budget += 1
+        if self._flow_watch is not None:
+            self._flow_watch.touch(pkt.msg_key)
         self.kick()
 
     def _on_nack(self, pkt: Packet) -> None:
@@ -202,6 +247,8 @@ class NdpTransport(Transport):
         self.nacks_received += 1
         size = min(MAX_PAYLOAD, flow.msg.length - pkt.offset)
         flow.rtx.append((pkt.offset, size))
+        if self._flow_watch is not None:
+            self._flow_watch.touch(pkt.msg_key)
         self.kick()
 
     def _on_ack(self, pkt: Packet) -> None:
@@ -212,6 +259,94 @@ class NdpTransport(Transport):
                                            flow.msg.length))
         if flow.msg.acked.total >= flow.msg.length:
             del self.flows[flow.msg.key]
+            if self._flow_watch is not None:
+                self._flow_watch.forget(flow.msg.key)
+        elif self._flow_watch is not None:
+            self._flow_watch.touch(pkt.msg_key)
+
+    # ------------------------------------------------------------------
+    # loss recovery (hooks only fire when a RecoveryConfig is present)
+    # ------------------------------------------------------------------
+
+    def _flow_expire(self, key: int, tries: int) -> None:
+        """ACK silence on the sender: blind-retransmit the first unacked
+        gap.  Covers a first window the fabric destroyed outright (the
+        receiver never learned the message exists) and lost ACK tails;
+        arrival re-engages the receiver's own gap machinery."""
+        flow = self.flows.get(key)
+        if flow is None:
+            self._flow_watch.forget(key)
+            return
+        msg = flow.msg
+        gap = msg.acked.first_gap(min(msg.sent, msg.length))
+        if gap is None:
+            # All sent bytes acked: we are waiting on pulls, and the
+            # receiver's recovery timer owns that path.  Deliberately do
+            # NOT touch — if the receiver is dead, the budget must burn
+            # down to a give-up or the flow leaks.
+            return
+        offset = gap[0]
+        size = min(MAX_PAYLOAD, gap[1] - offset)
+        # A recovery credit: the pull that covered these bytes was spent
+        # on a packet the fabric destroyed.
+        flow.pull_budget += 1
+        flow.rtx.appendleft((offset, size))
+        self.kick()
+
+    def _flow_give_up(self, key: int) -> None:
+        if self.flows.pop(key, None) is not None:
+            self.outbound_gaveups += 1
+
+    def _in_expire(self, key: int, tries: int) -> None:
+        """Pulled bytes never arrived and no trimmed header survived to
+        NACK them: re-NACK the gaps and roll the pull counter back, the
+        same repair ``_on_trimmed`` performs when a header does survive."""
+        msg = self.inbound.get(key)
+        if msg is None:
+            self._in_watch.forget(key)
+            return
+        horizon = min(self._pulls_issued.get(key, 0), msg.length)
+        missing = msg.received.gaps(horizon)
+        if not missing:
+            # Nothing pulled is outstanding; make sure the pacer still
+            # has this flow and treat the silence as scheduling delay.
+            if (self._pulls_issued.get(key, 0) < msg.length
+                    and key not in self._pull_ring):
+                self._pull_ring.append(key)
+                self._ensure_pacer()
+            self._in_watch.touch(key)
+            return
+        nacked = 0
+        limit = 8 * MAX_PAYLOAD  # bounded per expiry; backoff spreads the rest
+        for start, end in missing:
+            off = start
+            while off < end and nacked < limit:
+                size = min(MAX_PAYLOAD, end - off)
+                self.send_ctrl(Packet(
+                    self.hid, msg.src, PacketType.NACK, prio=CTRL_PRIO,
+                    rpc_id=msg.rpc_id, is_request=True,
+                    offset=off, range_end=off + size))
+                nacked += size
+                off += size
+            if nacked >= limit:
+                break
+        # The destroyed packets consumed pull credits; give them back so
+        # the pacer re-pulls and the sender has budget for the rtx.
+        self._pulls_issued[key] = max(
+            0, self._pulls_issued.get(key, 0) - nacked)
+        if key not in self._pull_ring:
+            self._pull_ring.append(key)
+        self._ensure_pacer()
+
+    def _in_give_up(self, key: int) -> None:
+        if self.inbound.pop(key, None) is None:
+            return
+        self.inbound_gaveups += 1
+        self._pulls_issued.pop(key, None)
+        try:
+            self._pull_ring.remove(key)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # receiver pull pacing (fair share round robin)

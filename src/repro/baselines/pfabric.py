@@ -17,6 +17,15 @@ Mechanics reproduced here:
 
 The paper notes pFabric wastes bandwidth because dropped packets must
 be retransmitted — that emerges naturally here (Figure 15).
+
+Loss recovery (docs/FABRICS.md): the RTO machinery above already runs
+on *clean* fabrics (priority drops are pFabric's congestion signal),
+so everything injected-loss-specific is gated on a RecoveryConfig:
+re-probing with backoff (a probing flow whose PROBE or probe-ACK is
+destroyed otherwise waits forever), backoff on the stall-recovery
+resend, a give-up budget over fruitless recovery rounds, receiver-side
+GC of partial inbound messages, and re-ACKing late retransmissions of
+recently completed messages.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from typing import Optional
 
 from repro.core.engine import Simulator
 from repro.core.packet import MAX_PAYLOAD, Packet, PacketType
-from repro.transport.base import Transport
+from repro.transport.base import RecoveryConfig, Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 
 #: consecutive timeouts before a flow enters probe mode
@@ -35,7 +44,8 @@ PROBE_AFTER = 5
 class _PfabricFlow:
     """Sender-side per-message state."""
 
-    __slots__ = ("msg", "unacked", "timeouts", "probing", "next_new")
+    __slots__ = ("msg", "unacked", "timeouts", "probing", "next_new",
+                 "rec_rounds", "rec_last_ps")
 
     def __init__(self, msg: OutboundMessage) -> None:
         self.msg = msg
@@ -43,6 +53,8 @@ class _PfabricFlow:
         self.timeouts = 0
         self.probing = False
         self.next_new = 0  # next fresh byte offset to send
+        self.rec_rounds = 0   # fruitless recovery rounds (recovery only)
+        self.rec_last_ps = 0  # last recovery action (backoff anchor)
 
     def remaining_to_ack(self) -> int:
         return self.msg.length - self.msg.acked.total
@@ -59,8 +71,9 @@ class PfabricTransport(Transport):
 
     protocol_name = "pfabric"
 
-    def __init__(self, sim: Simulator, *, rtt_bytes: int, rtt_ps: int) -> None:
-        super().__init__(sim)
+    def __init__(self, sim: Simulator, *, rtt_bytes: int, rtt_ps: int,
+                 recovery: RecoveryConfig | None = None) -> None:
+        super().__init__(sim, recovery)
         self.window = rtt_bytes              # one BDP in flight per flow
         self.rto_ps = 3 * rtt_ps             # pFabric uses a small RTO
         self.flows: dict[int, _PfabricFlow] = {}
@@ -69,6 +82,8 @@ class PfabricTransport(Transport):
         self._timer = None
         self.retransmissions = 0
         self.probes_sent = 0
+        # Receiver GC of partial inbound messages (None on clean fabrics).
+        self._in_watch = self._tracker(self._in_idle, self._in_give_up)
 
     # ------------------------------------------------------------------
     # sending
@@ -92,6 +107,7 @@ class PfabricTransport(Transport):
             if flow.msg.acked.covers(offset, offset + size):
                 continue
             self.retransmissions += 1
+            self.rtx_data_sent += 1
             return self._data_packet(flow, offset, size, retx=True)
         best: Optional[_PfabricFlow] = None
         best_rank = None
@@ -138,19 +154,35 @@ class PfabricTransport(Transport):
         key = pkt.msg_key
         msg = self.inbound.get(key)
         if msg is None:
+            if self._in_watch is not None and self._recently_done(key):
+                self._note_done(key)  # refresh: the peer is still retrying
+                self._ack(pkt)        # late retransmission: re-ACK only
+                return
             msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
                                  pkt.total_length, now_ps=self.sim.now)
             msg.created_ps = pkt.created_ps
             self.inbound[key] = msg
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
+            if self._in_watch is not None:
+                self._in_watch.watch(key)
+        added = msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if pkt.retx and added:
+            self.rtx_recovered += 1
+        if self._in_watch is not None:
+            self._in_watch.touch(key)
         # ACKs carry fine priority 0: most urgent, never dropped first.
+        self._ack(pkt)
+        if msg.is_complete():
+            del self.inbound[key]
+            if self._in_watch is not None:
+                self._in_watch.forget(key)
+                self._note_done(key)
+            self._report_complete(msg)
+
+    def _ack(self, pkt: Packet) -> None:
         self.send_ctrl(Packet(
             self.hid, pkt.src, PacketType.ACK, prio=7, fine_prio=0,
             rpc_id=pkt.rpc_id, is_request=True,
             offset=pkt.offset, range_end=pkt.payload))
-        if msg.is_complete():
-            del self.inbound[key]
-            self._report_complete(msg)
 
     def _on_probe(self, pkt: Packet) -> None:
         self.send_ctrl(Packet(
@@ -162,6 +194,7 @@ class PfabricTransport(Transport):
         if flow is None:
             return
         flow.timeouts = 0
+        flow.rec_rounds = 0  # any ACK (incl. probe-ACK) proves liveness
         if flow.probing:
             flow.probing = False  # the path is live again
         if pkt.offset >= 0:
@@ -183,6 +216,25 @@ class PfabricTransport(Transport):
         if self.flows:
             self._timer = self.sim.schedule(self.rto_ps // 2, self._check_timeouts)
 
+    def _recovery_round(self, flow: _PfabricFlow, now: int) -> bool:
+        """Charge one fruitless recovery round against ``flow``'s
+        give-up budget (injected-loss fabrics only).  Returns True when
+        the caller should act (backoff elapsed, budget left); retires
+        the flow on budget exhaustion."""
+        recov = self.recovery
+        if recov is None:
+            return True  # clean fabric: original unthrottled behaviour
+        bounded = min(flow.rec_rounds, recov.max_tries)
+        if now - flow.rec_last_ps < recov.interval_ps(bounded):
+            return False
+        flow.rec_rounds += 1
+        flow.rec_last_ps = now
+        if flow.rec_rounds > recov.max_tries:
+            del self.flows[flow.msg.key]
+            self.outbound_gaveups += 1
+            return False
+        return True
+
     def _check_timeouts(self) -> None:
         self._timer = None
         now = self.sim.now
@@ -193,11 +245,21 @@ class PfabricTransport(Transport):
                 # resend the first missing range.
                 if (not flow.probing and not flow.has_new_bytes()
                         and flow.msg.acked.total < flow.msg.length):
-                    gap = flow.msg.acked.first_gap(flow.msg.length)
-                    if gap is not None:
-                        size = min(MAX_PAYLOAD, gap[1] - gap[0])
-                        self._rtx_queue.append((flow, gap[0], size))
-                        self.kick()
+                    if self._recovery_round(flow, now):
+                        gap = flow.msg.acked.first_gap(flow.msg.length)
+                        if gap is not None:
+                            size = min(MAX_PAYLOAD, gap[1] - gap[0])
+                            self._rtx_queue.append((flow, gap[0], size))
+                            self.kick()
+                elif flow.probing and self.recovery is not None:
+                    # Injected loss can destroy the PROBE or its ACK;
+                    # without a re-probe the flow waits forever.
+                    if self._recovery_round(flow, now):
+                        self.probes_sent += 1
+                        self.send_ctrl(Packet(
+                            self.hid, flow.msg.dst, PacketType.PROBE,
+                            prio=0, fine_prio=flow.remaining_to_ack(),
+                            rpc_id=flow.msg.rpc_id, is_request=True))
                 continue
             oldest_offset, (size, sent_ps) = min(
                 flow.unacked.items(), key=lambda item: item[1][1])
@@ -209,6 +271,7 @@ class PfabricTransport(Transport):
             flow.msg.in_flight = max(0, flow.msg.in_flight - size)
             if flow.timeouts >= PROBE_AFTER:
                 flow.probing = True
+                flow.rec_last_ps = now  # anchor the re-probe backoff
                 self.probes_sent += 1
                 self.send_ctrl(Packet(
                     self.hid, flow.msg.dst, PacketType.PROBE, prio=0,
@@ -218,3 +281,16 @@ class PfabricTransport(Transport):
                 self._rtx_queue.append((flow, oldest_offset, size))
                 self.kick()
         self._ensure_timer()
+
+    # ------------------------------------------------------------------
+    # loss recovery (hooks only fire when a RecoveryConfig is present)
+    # ------------------------------------------------------------------
+
+    def _in_idle(self, key: int, tries: int) -> None:
+        """The receiver is passive in pFabric — the sender's RTO owns
+        retransmission — so expiries just burn down the GC budget."""
+
+    def _in_give_up(self, key: int) -> None:
+        """Sender went silent mid-message: GC the partial inbound."""
+        if self.inbound.pop(key, None) is not None:
+            self.inbound_gaveups += 1

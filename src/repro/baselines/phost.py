@@ -13,6 +13,18 @@ characterization in sections 2.2 and 7):
 The wasted-bandwidth behaviour (pHost sustains only 58-73% load,
 Figure 15) emerges from the single-active-sender pacing plus token
 expiry, exactly as the paper describes.
+
+Loss recovery (docs/FABRICS.md, active only with a RecoveryConfig):
+the token protocol has two wedge points under packet loss — the
+receiver stops granting once ``tokens_issued`` reaches the message
+length even when the data never arrived, and the sender discards all
+state the moment the last byte hits the wire, so nothing can answer a
+late repair request.  With recovery enabled the receiver sends
+*gap tokens* (TOKEN packets carrying an explicit ``offset``/
+``range_end``) for tokenized-but-missing bytes, the sender keeps
+fully-sent messages *lingering* until a completion ACK arrives, and a
+silent peer is re-RTSed with backoff until the give-up budget retires
+the message on both sides.
 """
 
 from __future__ import annotations
@@ -28,7 +40,7 @@ from repro.core.packet import (
     PacketType,
 )
 from repro.core.units import ps_per_byte
-from repro.transport.base import Transport
+from repro.transport.base import RecoveryConfig, Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 
 #: scheduled data priority (unscheduled + control use CTRL_PRIO)
@@ -69,8 +81,9 @@ class PHostTransport(Transport):
         unresponsive_timeout_ps: int | None = None,
         blacklist_ps: int | None = None,
         rtt_ps: int = 7_744_000,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, recovery)
         self.rtt_bytes = rtt_bytes
         self.unsched_limit = -(-rtt_bytes // MAX_PAYLOAD) * MAX_PAYLOAD
         #: pacing interval: one token per full-packet time on the downlink
@@ -94,6 +107,12 @@ class PHostTransport(Transport):
         self._pacer_event = None
         self.tokens_sent = 0
         self.tokens_expired = 0
+        self.resends_sent = 0  # re-RTS + gap tokens (recovery only)
+        # Loss recovery (None/empty on clean fabrics): fully-sent
+        # messages linger until the receiver's completion ACK.
+        self._lingering: dict[int, OutboundMessage] = {}
+        self._out_watch = self._tracker(self._out_expire, self._out_give_up)
+        self._in_watch = self._tracker(self._in_expire, self._in_give_up)
 
     # ------------------------------------------------------------------
     # sending
@@ -104,6 +123,8 @@ class PHostTransport(Transport):
                               unsched_limit=self.unsched_limit,
                               created_ps=self.sim.now)
         self.outbound[msg.key] = msg
+        if self._out_watch is not None:
+            self._out_watch.watch(msg.key)
         # RTS announces the message so the receiver can schedule tokens.
         self.send_ctrl(Packet(
             self.hid, dst, PacketType.RTS, prio=CTRL_PRIO,
@@ -137,6 +158,8 @@ class PHostTransport(Transport):
         if chunk is None:  # token arrived for already-sent bytes
             return self._next_data_retry(best)
         offset, size, is_rtx = chunk
+        if is_rtx:
+            self.rtx_data_sent += 1
         prio = CTRL_PRIO if offset < best.unsched_limit else SCHED_PRIO
         pkt = Packet(self.hid, best.dst, PacketType.DATA, prio=prio,
                      payload=size, rpc_id=best.rpc_id, is_request=True,
@@ -145,15 +168,23 @@ class PHostTransport(Transport):
                      grant_offset=min(best.length, best.unsched_limit),
                      created_ps=best.created_ps)
         if best.fully_sent():
-            del self.outbound[best.key]
-            self.tokens.pop(best.key, None)
+            self._retire_sender_state(best)
         return pkt
 
     def _next_data_retry(self, skip: OutboundMessage) -> Optional[Packet]:
         if skip.fully_sent():
-            self.outbound.pop(skip.key, None)
-            self.tokens.pop(skip.key, None)
+            self._retire_sender_state(skip)
         return None
+
+    def _retire_sender_state(self, msg: OutboundMessage) -> None:
+        """Every byte is on the wire: drop active sender state.  Under
+        recovery the message lingers (still watched) until the
+        completion ACK — a lost tail or repair request can still need
+        it."""
+        self.outbound.pop(msg.key, None)
+        self.tokens.pop(msg.key, None)
+        if self._out_watch is not None:
+            self._lingering[msg.key] = msg
 
     # ------------------------------------------------------------------
     # receiving
@@ -166,6 +197,8 @@ class PHostTransport(Transport):
             self._on_rts(pkt)
         elif pkt.kind == PacketType.TOKEN:
             self._on_token(pkt)
+        elif pkt.kind == PacketType.ACK:
+            self._on_done_ack(pkt)
 
     def _register_inbound(self, pkt: Packet) -> InboundMessage:
         key = pkt.msg_key
@@ -177,32 +210,82 @@ class PHostTransport(Transport):
             self.inbound[key] = msg
             self.tokens_issued[key] = min(pkt.total_length, self.unsched_limit)
             self.last_data_ps[key] = self.sim.now
+            if self._in_watch is not None:
+                self._in_watch.watch(key)
         return msg
 
     def _on_rts(self, pkt: Packet) -> None:
+        if (self._in_watch is not None and pkt.msg_key not in self.inbound
+                and self._recently_done(pkt.msg_key)):
+            # The completion ACK was lost and the sender re-announced.
+            self._note_done(pkt.msg_key)  # refresh: peer still retrying
+            self._send_done_ack(pkt.src, pkt.rpc_id, pkt.total_length)
+            return
         self._register_inbound(pkt)
         self._ensure_pacer()
 
     def _on_data(self, pkt: Packet) -> None:
+        if (self._in_watch is not None and pkt.msg_key not in self.inbound
+                and self._recently_done(pkt.msg_key)):
+            self._note_done(pkt.msg_key)  # refresh: peer still retrying
+            self._send_done_ack(pkt.src, pkt.rpc_id, pkt.total_length)
+            return
         msg = self._register_inbound(pkt)
         self.last_data_ps[msg.key] = self.sim.now
         self.blacklisted_until.pop(msg.key, None)
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
+        added = msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if pkt.retx and added:
+            self.rtx_recovered += 1
+        if self._in_watch is not None:
+            self._in_watch.touch(msg.key)
         if msg.is_complete():
             key = msg.key
             del self.inbound[key]
             self.tokens_issued.pop(key, None)
             self.last_data_ps.pop(key, None)
             self.token_grant_ps.pop(key, None)
+            if self._in_watch is not None:
+                self._in_watch.forget(key)
+                self._note_done(key)
+                self._send_done_ack(msg.src, msg.rpc_id, msg.length)
             self._report_complete(msg)
         self._ensure_pacer()
 
+    def _send_done_ack(self, dst: int, rpc_id: int, length: int) -> None:
+        """Completion ACK (recovery only): releases the sender's
+        lingering copy."""
+        self.send_ctrl(Packet(
+            self.hid, dst, PacketType.ACK, prio=CTRL_PRIO,
+            rpc_id=rpc_id, is_request=True, offset=length))
+
+    def _on_done_ack(self, pkt: Packet) -> None:
+        key = pkt.msg_key
+        self.outbound.pop(key, None)
+        self._lingering.pop(key, None)
+        self.tokens.pop(key, None)
+        if self._out_watch is not None:
+            self._out_watch.forget(key)
+
     def _on_token(self, pkt: Packet) -> None:
-        bucket = self.tokens.get(pkt.msg_key)
+        key = pkt.msg_key
+        if pkt.range_end > 0:
+            # Gap token (recovery): the receiver names the exact missing
+            # range; re-queue it even if the message already lingers.
+            msg = self.outbound.get(key)
+            if msg is None:
+                msg = self._lingering.pop(key, None)
+                if msg is not None:
+                    self.outbound[key] = msg
+            if msg is None:
+                return  # both sides already gave up
+            msg.queue_rtx(pkt.offset, pkt.range_end)
+        bucket = self.tokens.get(key)
         if bucket is None:
             bucket = _TokenBucket()
-            self.tokens[pkt.msg_key] = bucket
+            self.tokens[key] = bucket
         bucket.add(self.sim.now + self.token_ttl_ps)
+        if self._out_watch is not None:
+            self._out_watch.touch(key)
         self.kick()
 
     # ------------------------------------------------------------------
@@ -272,3 +355,71 @@ class PHostTransport(Transport):
             self.hid, flow.src, PacketType.TOKEN, prio=CTRL_PRIO,
             rpc_id=flow.rpc_id, is_request=True))
         self._ensure_pacer()
+
+    # ------------------------------------------------------------------
+    # loss recovery (hooks only fire when a RecoveryConfig is present)
+    # ------------------------------------------------------------------
+
+    def _out_expire(self, key: int, tries: int) -> None:
+        """Token/ACK silence on the sender: re-announce with an RTS.  An
+        RTS is idempotent and answers every silent failure mode — a lost
+        RTS (the receiver never learned of the message), lost tokens, a
+        lost data tail (the receiver's gap machinery takes over), or a
+        lost completion ACK (the receiver re-acks from done-memory)."""
+        msg = self.outbound.get(key)
+        if msg is None:
+            msg = self._lingering.get(key)
+        if msg is None:
+            self._out_watch.forget(key)
+            return
+        self.resends_sent += 1
+        self.send_ctrl(Packet(
+            self.hid, msg.dst, PacketType.RTS, prio=CTRL_PRIO,
+            rpc_id=msg.rpc_id, is_request=True, total_length=msg.length,
+            created_ps=msg.created_ps))
+
+    def _out_give_up(self, key: int) -> None:
+        dropped = self.outbound.pop(key, None)
+        lingered = self._lingering.pop(key, None)
+        self.tokens.pop(key, None)
+        if dropped is not None or lingered is not None:
+            self.outbound_gaveups += 1
+
+    def _in_expire(self, key: int, tries: int) -> None:
+        """Tokenized bytes never arrived: name the gaps with gap tokens
+        so the sender retransmits exactly the missing ranges."""
+        msg = self.inbound.get(key)
+        if msg is None:
+            self._in_watch.forget(key)
+            return
+        horizon = min(self.tokens_issued.get(key, 0), msg.length)
+        missing = msg.received.gaps(horizon)
+        if not missing:
+            # Everything granted has arrived; further progress belongs
+            # to the token pacer, so the silence is not loss.
+            self._in_watch.touch(key)
+            self._ensure_pacer()
+            return
+        count = 0
+        for start, end in missing:
+            off = start
+            while off < end and count < 8:  # bounded; backoff spreads the rest
+                size = min(MAX_PAYLOAD, end - off)
+                self.resends_sent += 1
+                self.send_ctrl(Packet(
+                    self.hid, msg.src, PacketType.TOKEN, prio=CTRL_PRIO,
+                    rpc_id=msg.rpc_id, is_request=True,
+                    offset=off, range_end=off + size))
+                count += 1
+                off += size
+            if count >= 8:
+                break
+
+    def _in_give_up(self, key: int) -> None:
+        if self.inbound.pop(key, None) is None:
+            return
+        self.inbound_gaveups += 1
+        self.tokens_issued.pop(key, None)
+        self.last_data_ps.pop(key, None)
+        self.token_grant_ps.pop(key, None)
+        self.blacklisted_until.pop(key, None)

@@ -20,6 +20,15 @@ Mechanics reproduced here:
 The paper's observation that "congestion led to ECN-induced backoff in
 workload W4, resulting in slowdowns of 20 or more" emerges from the
 DCTCP layer.
+
+Loss recovery (docs/FABRICS.md): DCTCP's RTO/go-back-N already handles
+clean-path anomalies, so injected-loss additions are gated on a
+RecoveryConfig: exponential backoff across consecutive fruitless RTO
+rounds with a give-up budget (the bare RTO otherwise retransmits to a
+dead peer forever), receiver-side GC of partial inbound messages, and
+a full cumulative re-ACK for retransmissions of recently completed
+messages (a lost final ACK otherwise triggers go-back-N into a fresh
+partial inbound — duplicate delivery).
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from typing import Optional
 
 from repro.core.engine import Simulator
 from repro.core.packet import MAX_PAYLOAD, N_PRIORITIES, Packet, PacketType
-from repro.transport.base import Transport
+from repro.transport.base import RecoveryConfig, Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 from repro.workloads.distributions import EmpiricalCDF
 
@@ -56,7 +65,8 @@ class _PiasFlow:
 
     __slots__ = ("msg", "cwnd", "ssthresh", "alpha", "acked_prefix",
                  "window_sent", "window_marked", "window_end",
-                 "dup_acks", "last_send_ps", "recovery_until")
+                 "dup_acks", "last_send_ps", "recovery_until",
+                 "rec_rounds", "next_rto_ps", "high_water")
 
     def __init__(self, msg: OutboundMessage) -> None:
         self.msg = msg
@@ -70,6 +80,9 @@ class _PiasFlow:
         self.dup_acks = 0
         self.last_send_ps = 0
         self.recovery_until = 0
+        self.rec_rounds = 0   # consecutive fruitless RTOs (recovery only)
+        self.next_rto_ps = 0  # backoff gate for the next RTO action
+        self.high_water = 0   # highest byte ever sent (marks go-back-N retx)
 
     def can_send(self) -> bool:
         return (self.msg.sent - self.acked_prefix < self.cwnd
@@ -88,8 +101,9 @@ class PiasTransport(Transport):
         thresholds: tuple[int, ...],
         rtt_ps: int,
         min_rto_ps: int | None = None,
+        recovery: RecoveryConfig | None = None,
     ) -> None:
-        super().__init__(sim)
+        super().__init__(sim, recovery)
         self.thresholds = thresholds
         self.rto_ps = min_rto_ps or max(20 * rtt_ps, 200_000_000)  # >=200 us
         self.flows: dict[int, _PiasFlow] = {}
@@ -98,6 +112,17 @@ class PiasTransport(Transport):
         self._timer = None
         self.retransmissions = 0
         self.backoffs = 0
+        # Receiver GC of partial inbound messages (None on clean fabrics).
+        self._in_watch = self._tracker(self._in_idle, self._in_give_up)
+        if recovery is not None:
+            # Done-memory must outlive the sender's retry *spacing*,
+            # which here is RTO-scaled (backoff gate <= 4*rto plus the
+            # rto-granular check timer), not recovery-scaled: the RTO
+            # floor (>=200 us) dwarfs the recovery base on small-RTT
+            # fabrics, and an expired memory turns a late go-back-N
+            # into a duplicate delivery.
+            self._done_horizon_ps = max(self._done_horizon_ps,
+                                        8 * self.rto_ps)
 
     # ------------------------------------------------------------------
     # MLFQ priority
@@ -145,11 +170,16 @@ class PiasTransport(Transport):
                    max(1, int(flow.cwnd - (msg.sent - flow.acked_prefix))))
         msg.sent += size
         flow.last_send_ps = self.sim.now
+        retx = offset < flow.high_water  # go-back-N re-covers old bytes
+        if msg.sent > flow.high_water:
+            flow.high_water = msg.sent
+        if retx:
+            self.rtx_data_sent += 1
         return Packet(
             self.hid, msg.dst, PacketType.DATA,
             prio=self._prio_for(offset), payload=size,
             rpc_id=msg.rpc_id, is_request=True, offset=offset,
-            total_length=msg.length, created_ps=msg.created_ps)
+            total_length=msg.length, retx=retx, created_ps=msg.created_ps)
 
     def _retransmit_from(self, flow: _PiasFlow, offset: int) -> None:
         """Go-back-N from the acked prefix."""
@@ -171,11 +201,28 @@ class PiasTransport(Transport):
         key = pkt.msg_key
         msg = self.inbound.get(key)
         if msg is None:
+            if self._in_watch is not None and self._recently_done(key):
+                # Late go-back-N of a completed message (the final ACK
+                # was lost): re-ACK the full length, never re-register —
+                # a fresh partial inbound here is a duplicate delivery.
+                self._note_done(key)  # refresh: the peer is still retrying
+                ack = Packet(self.hid, pkt.src, PacketType.ACK, prio=7,
+                             rpc_id=pkt.rpc_id, is_request=True,
+                             offset=pkt.total_length)
+                ack.ecn = pkt.ecn
+                self.send_ctrl(ack)
+                return
             msg = InboundMessage(pkt.rpc_id, True, pkt.src, self.hid,
                                  pkt.total_length, now_ps=self.sim.now)
             msg.created_ps = pkt.created_ps
             self.inbound[key] = msg
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
+            if self._in_watch is not None:
+                self._in_watch.watch(key)
+        added = msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if pkt.retx and added:
+            self.rtx_recovered += 1
+        if self._in_watch is not None:
+            self._in_watch.touch(key)
         # Cumulative ACK echoing the ECN mark (DCTCP's feedback loop).
         ack = Packet(self.hid, pkt.src, PacketType.ACK, prio=7,
                      rpc_id=pkt.rpc_id, is_request=True,
@@ -184,6 +231,9 @@ class PiasTransport(Transport):
         self.send_ctrl(ack)
         if msg.is_complete():
             del self.inbound[key]
+            if self._in_watch is not None:
+                self._in_watch.forget(key)
+                self._note_done(key)
             self._report_complete(msg)
 
     def _on_ack(self, pkt: Packet) -> None:
@@ -210,6 +260,8 @@ class PiasTransport(Transport):
             delta = pkt.offset - flow.acked_prefix
             flow.acked_prefix = pkt.offset
             flow.dup_acks = 0
+            flow.rec_rounds = 0  # forward progress proves the peer lives
+            flow.next_rto_ps = 0
             if flow.cwnd < flow.ssthresh:
                 flow.cwnd += delta  # slow start
             else:
@@ -241,7 +293,35 @@ class PiasTransport(Transport):
         for flow in list(self.flows.values()):
             in_flight = flow.msg.sent - flow.acked_prefix
             if in_flight > 0 and now - flow.last_send_ps >= self.rto_ps:
+                if self.recovery is not None:
+                    # Injected loss: back off across fruitless RTO
+                    # rounds and retire the flow once the budget is
+                    # spent — a bare RTO retransmits to a dead peer
+                    # forever.
+                    if now < flow.next_rto_ps:
+                        continue
+                    flow.rec_rounds += 1
+                    if flow.rec_rounds > self.recovery.max_tries:
+                        self.flows.pop(flow.msg.key, None)
+                        self.outbound_gaveups += 1
+                        continue
+                    backoff = self.rto_ps * (
+                        self.recovery.factor ** flow.rec_rounds)
+                    flow.next_rto_ps = now + min(backoff, 4 * self.rto_ps)
                 flow.ssthresh = max(MAX_PAYLOAD, flow.cwnd / 2)
                 flow.cwnd = float(MAX_PAYLOAD)
                 self._retransmit_from(flow, flow.acked_prefix)
         self._ensure_timer()
+
+    # ------------------------------------------------------------------
+    # loss recovery (hooks only fire when a RecoveryConfig is present)
+    # ------------------------------------------------------------------
+
+    def _in_idle(self, key: int, tries: int) -> None:
+        """The receiver is passive in PIAS — the sender's RTO owns
+        retransmission — so expiries just burn down the GC budget."""
+
+    def _in_give_up(self, key: int) -> None:
+        """Sender went silent mid-message: GC the partial inbound."""
+        if self.inbound.pop(key, None) is not None:
+            self.inbound_gaveups += 1

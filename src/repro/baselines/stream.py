@@ -11,8 +11,18 @@ priorities — the paper shows this lands at Basic's performance level.
 
 Flow control is an idealized fixed window of one bandwidth-delay
 product per connection with per-packet cumulative ACKs — deliberately
-generous to TCP (no slow start, no loss in these runs), so any latency
+generous to TCP (no slow start, no clean-fabric loss), so any latency
 gap vs Homa is attributable to the streaming architecture itself.
+
+Loss recovery (docs/FABRICS.md, active only with a RecoveryConfig): the
+sender tracks per-packet ACKs in ``msg.acked`` and runs a
+RecoveryTracker per message — on expiry the unacked ranges below
+``msg.sent`` are presumed lost, their window share is released (a lost
+DATA or ACK otherwise leaks ``in_flight`` forever and wedges the
+connection) and queued for retransmission at the head of the FIFO; the
+give-up budget retires the message and fires the RPC error callback.
+The receiver GCs inbound messages whose sender went silent and
+re-ACKs late retransmissions of recently completed messages.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from typing import Optional
 
 from repro.core.engine import Simulator
 from repro.core.packet import CTRL_PRIO, Packet, PacketType
-from repro.transport.base import Transport
+from repro.transport.base import RecoveryConfig, Transport
 from repro.transport.messages import InboundMessage, OutboundMessage
 
 
@@ -52,8 +62,9 @@ class StreamTransport(Transport):
     protocol_name = "stream"
 
     def __init__(self, sim: Simulator, *, window_bytes: int,
-                 connections_per_pair: int = 1) -> None:
-        super().__init__(sim)
+                 connections_per_pair: int = 1,
+                 recovery: RecoveryConfig | None = None) -> None:
+        super().__init__(sim, recovery)
         if connections_per_pair < 1:
             raise ValueError("need at least one connection per pair")
         self.window_bytes = window_bytes
@@ -65,6 +76,11 @@ class StreamTransport(Transport):
         # RPC support (for the echo benchmarks).
         self.rpc_handler = None
         self._client_cbs: dict[int, tuple] = {}
+        # Loss recovery (None/empty on clean fabrics).
+        self._sent_msgs: dict[int, OutboundMessage] = {}
+        self._msg_conn: dict[int, _Connection] = {}
+        self._out_watch = self._tracker(self._rtx_expire, self._rtx_give_up)
+        self._in_watch = self._tracker(self._in_idle, self._in_give_up)
 
     # ------------------------------------------------------------------
     # sending
@@ -88,7 +104,12 @@ class StreamTransport(Transport):
         msg = OutboundMessage(rpc_id, is_request, self.hid, dst, length,
                               unsched_limit=length,  # window governs pacing
                               created_ps=self.sim.now, app_meta=app_meta)
-        self._connection_for(dst).queue.append(msg)
+        conn = self._connection_for(dst)
+        conn.queue.append(msg)
+        if self._out_watch is not None:
+            self._sent_msgs[msg.key] = msg
+            self._msg_conn[msg.key] = conn
+            self._out_watch.watch(msg.key)
         self.kick()
         return msg
 
@@ -116,6 +137,8 @@ class StreamTransport(Transport):
         msg = best.queue[0]
         offset, size, is_rtx = msg.next_chunk()
         best.in_flight += size
+        if is_rtx:
+            self.rtx_data_sent += 1
         if msg.fully_sent():
             best.queue.popleft()
         return Packet(
@@ -138,23 +161,41 @@ class StreamTransport(Transport):
         key = pkt.msg_key
         msg = self.inbound.get(key)
         if msg is None:
+            if self._in_watch is not None and self._recently_done(key):
+                # Late retransmission of a completed message: re-ACK so
+                # the sender stops retrying, but do not re-register.
+                self._note_done(key)  # refresh: the peer is still retrying
+                self._ack(pkt)
+                return
             msg = InboundMessage(pkt.rpc_id, pkt.is_request, pkt.src,
                                  self.hid, pkt.total_length,
                                  now_ps=self.sim.now)
             msg.created_ps = pkt.created_ps
             msg.app_meta = pkt.app_meta
             self.inbound[key] = msg
-        msg.record(pkt.offset, pkt.payload, self.sim.now)
+            if self._in_watch is not None:
+                self._in_watch.watch(key)
+        added = msg.record(pkt.offset, pkt.payload, self.sim.now)
+        if pkt.retx and added:
+            self.rtx_recovered += 1
+        if self._in_watch is not None:
+            self._in_watch.touch(key)
         # Per-packet ACK releases window on the sending side; the ACK
         # carries the connection index so the sender credits correctly.
+        self._ack(pkt)
+        if msg.is_complete():
+            del self.inbound[key]
+            if self._in_watch is not None:
+                self._in_watch.forget(key)
+                self._note_done(key)
+            self._stream_complete(msg)
+
+    def _ack(self, pkt: Packet) -> None:
         self.send_ctrl(Packet(
             self.hid, pkt.src, PacketType.ACK, prio=CTRL_PRIO,
             rpc_id=pkt.rpc_id, is_request=pkt.is_request,
             offset=pkt.offset, payload=0, range_end=pkt.payload,
             grant_offset=pkt.grant_offset))
-        if msg.is_complete():
-            del self.inbound[key]
-            self._stream_complete(msg)
 
     def _stream_complete(self, msg: InboundMessage) -> None:
         self._report_complete(msg)
@@ -177,4 +218,79 @@ class StreamTransport(Transport):
             return
         conn = conns[pkt.grant_offset % len(conns)]
         conn.in_flight = max(0, conn.in_flight - pkt.range_end)
+        if self._out_watch is not None:
+            key = pkt.msg_key
+            msg = self._sent_msgs.get(key)
+            if msg is not None:
+                msg.acked.add(pkt.offset, pkt.offset + pkt.range_end)
+                self._out_watch.touch(key)
+                if msg.acked.total >= msg.length:
+                    del self._sent_msgs[key]
+                    self._msg_conn.pop(key, None)
+                    self._out_watch.forget(key)
         self.kick()
+
+    # ------------------------------------------------------------------
+    # loss recovery (hooks only fire when a RecoveryConfig is present)
+    # ------------------------------------------------------------------
+
+    def _rtx_expire(self, key: int, tries: int) -> None:
+        """Sender timeout: unacked bytes below ``sent`` are presumed
+        lost — release their window share and queue them for rtx."""
+        msg = self._sent_msgs.get(key)
+        if msg is None:
+            self._out_watch.forget(key)
+            return
+        lost_ranges = msg.acked.gaps(min(msg.sent, msg.length))
+        if not lost_ranges:
+            # Nothing outstanding: the message is still queued (or all
+            # sent bytes acked) — silence here is not loss.
+            self._out_watch.touch(key)
+            return
+        conn = self._msg_conn[key]
+        for start, end in lost_ranges:
+            # Release window only for bytes not already queued for rtx,
+            # so repeated expiries cannot inflate the window.
+            lost = end - start
+            for chunk in msg.rtx:
+                overlap = min(end, chunk[1]) - max(start, chunk[0])
+                if overlap > 0:
+                    lost -= overlap
+            if lost > 0:
+                conn.in_flight = max(0, conn.in_flight - lost)
+            msg.queue_rtx(start, end)
+        if msg not in conn.queue:
+            # Retransmissions jump the FIFO: the message already paid
+            # its HOL-blocking dues on first transmission.
+            conn.queue.appendleft(msg)
+        self.kick()
+
+    def _rtx_give_up(self, key: int) -> None:
+        """Retry budget exhausted: retire the outbound message."""
+        msg = self._sent_msgs.pop(key, None)
+        conn = self._msg_conn.pop(key, None)
+        if msg is None:
+            return
+        self.outbound_gaveups += 1
+        msg.rtx.clear()
+        if conn is not None:
+            try:
+                conn.queue.remove(msg)
+            except ValueError:
+                pass
+            conn.in_flight = max(
+                0, conn.in_flight - max(0, msg.sent - msg.acked.total))
+        if msg.is_request:
+            cbs = self._client_cbs.pop(msg.rpc_id, None)
+            if cbs is not None and cbs[1] is not None:
+                cbs[1](msg.rpc_id)
+        self.kick()
+
+    def _in_idle(self, key: int, tries: int) -> None:
+        """Receiver side is passive: the sender owns retransmission, so
+        expiries just burn down the give-up budget."""
+
+    def _in_give_up(self, key: int) -> None:
+        """Sender went silent mid-message: GC the partial inbound."""
+        if self.inbound.pop(key, None) is not None:
+            self.inbound_gaveups += 1

@@ -472,6 +472,19 @@ class Network:
         for switch in self.all_switches():
             switch.drop_filter = fn
 
+    def may_drop(self) -> bool:
+        """True when this fabric can destroy packets outright — injected
+        Bernoulli loss or an armed fault schedule (black holes, dead
+        switches).  Transports consult this at attach time to switch on
+        their loss-recovery machinery; congestion-native drops (pFabric
+        priority-drop, NDP trimming) are recovered by each protocol's
+        clean-path mechanics and do not count.
+        """
+        if getattr(self, "fault_injector", None) is not None:
+            return True
+        return any(switch.drop_filter is not None
+                   for switch in self.all_switches())
+
     def attach_transports(self, factory) -> list:
         """Build one transport per host via ``factory(host) -> transport``."""
         transports = []

@@ -32,6 +32,7 @@ from repro.metrics.priousage import PriorityUsage
 from repro.metrics.queues import QueueLevelStats, QueueStats
 from repro.metrics.slowdown import SlowdownTracker
 from repro.transport.registry import (
+    LOSS_VALIDATED,
     OVERHEAD_MODEL,
     network_overrides,
     supports_fabric_faults,
@@ -208,9 +209,11 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         # faults; racks/hosts_per_rack/aggrs on this config are ignored.
         if ((cfg.fabric.loss.any() or cfg.fabric.faults)
                 and not supports_fabric_faults(cfg.protocol)):
+            validated = ", ".join(sorted(LOSS_VALIDATED))
             raise ValueError(
                 f"protocol {cfg.protocol!r} is not validated under "
-                f"injected loss/faults (registry.LOSS_VALIDATED); use a "
+                f"injected loss/faults; validated protocols: {validated} "
+                f"(registry.LOSS_VALIDATED, see docs/FABRICS.md).  Use a "
                 f"clean TopologySpec or a validated protocol")
         net = build_fabric(sim, cfg.fabric, seed=cfg.seed,
                            overrides=overrides)

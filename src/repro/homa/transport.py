@@ -97,6 +97,7 @@ class HomaTransport(Transport):
         rtt_bytes: int,
         link_gbps: int = 10,
         pool: PacketPool | None = None,
+        peer_gc: bool = False,
     ) -> None:
         super().__init__(sim)
         self.cfg = cfg
@@ -199,6 +200,14 @@ class HomaTransport(Transport):
         self.rtx_data_sent = 0      # retransmitted DATA packets
         self.rtx_recovered = 0      # retransmitted DATA that filled a gap
         self.inbound_gaveups = 0    # inbound messages dropped at max_resends
+        # Peer-liveness GC (degraded fabrics only; docs/FABRICS.md):
+        # retires outbound messages stalled waiting on grants from a
+        # peer that stopped answering — dead-peer response orphans and
+        # orphaned one-way requests — so echo conservation closes
+        # exactly at event exhaustion.  Off (False) on clean fabrics:
+        # the scan never runs and digests stay byte-identical.
+        self._peer_gc = peer_gc
+        self._orphan_rounds: dict[int, list] = {}  # key -> [sig, rounds]
 
     # ------------------------------------------------------------------
     # public sending API
@@ -890,7 +899,8 @@ class HomaTransport(Transport):
     def _ensure_timer(self) -> None:
         if self._timer_event is not None and Simulator.is_pending(self._timer_event):
             return
-        if not self.inbound and not self.client_rpcs:
+        if (not self.inbound and not self.client_rpcs
+                and not (self._peer_gc and self.outbound)):
             return
         self._timer_event = self.sim.schedule(
             self.cfg.resend_interval_ps // 2, self._timer_fire)
@@ -964,6 +974,43 @@ class HomaTransport(Transport):
             self.send_ctrl(self.pool.alloc_ctrl(
                 PacketType.RESEND, self.hid, rpc.dst,
                 rpc.rpc_id, False, offset=0, range_end=self.rtt_bytes))
+        # Sender side (peer-liveness GC, degraded fabrics only): an
+        # outbound message stalled at its grant limit whose peer stopped
+        # granting.  Responses to a dead client and one-way requests to
+        # a dead receiver have no client_rpc probing on their behalf, so
+        # without this scan they sit in ``outbound`` forever.
+        if self._peer_gc and self.outbound:
+            rounds = self._orphan_rounds
+            for key, msg in list(self.outbound.items()):
+                if msg.sendable():
+                    rounds.pop(key, None)  # transmitting: not an orphan
+                    continue
+                if msg.is_request and msg.rpc_id in self.client_rpcs:
+                    continue  # the client-side scan above owns it
+                sig = (msg.sent, msg.granted)
+                state = rounds.get(key)
+                if state is None or state[0] != sig:
+                    rounds[key] = [sig, 0]  # (re)observed: start counting
+                    continue
+                state[1] += 1
+                if state[1] > self.cfg.max_resends:
+                    # No grant progress through the whole budget: the
+                    # peer is unreachable.  Retiring is safe even on a
+                    # false positive — a late RESEND resurrects the
+                    # missing range as a ghost (_ghost_resend), and a
+                    # retired request degrades to the at-least-once
+                    # re-execution path (section 3.8).
+                    del self.outbound[key]
+                    rounds.pop(key, None)
+                    if not msg.is_request:
+                        self.server_rpcs.pop(msg.rpc_id, None)
+                    self.outbound_gaveups += 1
+            for key in [k for k in rounds if k not in self.outbound]:
+                del rounds[key]
+        elif self._orphan_rounds:
+            # outbound drained through the normal paths since the last
+            # scan: drop the stale observations with it.
+            self._orphan_rounds.clear()
         self._timer_event = None
         self._ensure_timer()
         if freed:

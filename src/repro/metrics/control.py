@@ -38,12 +38,15 @@ class ControlTraffic:
     rtx_recovered: int = 0
     #: inbound messages abandoned after exhausting the retry budget
     give_ups: int = 0
+    #: outbound messages retired by sender-side give-up or peer-liveness
+    #: GC (docs/FABRICS.md recovery table)
+    outbound_give_ups: int = 0
 
     @classmethod
     def collect(cls, transports: Iterable) -> "ControlTraffic":
         """Sum the control counters of every transport."""
         grants = resends = busys = ticks = 0
-        rtx = recovered = gaveups = 0
+        rtx = recovered = gaveups = out_gaveups = 0
         for transport in transports:
             grants += getattr(transport, "grants_sent", 0)
             resends += getattr(transport, "resends_sent", 0)
@@ -52,9 +55,11 @@ class ControlTraffic:
             rtx += getattr(transport, "rtx_data_sent", 0)
             recovered += getattr(transport, "rtx_recovered", 0)
             gaveups += getattr(transport, "inbound_gaveups", 0)
+            out_gaveups += getattr(transport, "outbound_gaveups", 0)
         return cls(grants=grants, resends=resends, busys=busys,
                    grant_ticks=ticks, rtx_data=rtx,
-                   rtx_recovered=recovered, give_ups=gaveups)
+                   rtx_recovered=recovered, give_ups=gaveups,
+                   outbound_give_ups=out_gaveups)
 
     @property
     def total(self) -> int:
@@ -71,6 +76,7 @@ class ControlTraffic:
             "rtx_data": self.rtx_data,
             "rtx_recovered": self.rtx_recovered,
             "give_ups": self.give_ups,
+            "outbound_give_ups": self.outbound_give_ups,
         }
 
     @classmethod
@@ -85,6 +91,7 @@ class ControlTraffic:
             rtx_data=payload.get("rtx_data", 0),
             rtx_recovered=payload.get("rtx_recovered", 0),
             give_ups=payload.get("give_ups", 0),
+            outbound_give_ups=payload.get("outbound_give_ups", 0),
         )
 
 

@@ -90,6 +90,20 @@ class Intervals:
             return (cursor, upto)
         return None
 
+    def gaps(self, upto: int) -> list[tuple[int, int]]:
+        """Every missing range below ``upto`` (loss-recovery sweeps)."""
+        out: list[tuple[int, int]] = []
+        cursor = 0
+        for s, e in self._ranges:
+            if cursor < s:
+                out.append((cursor, min(s, upto)))
+            cursor = max(cursor, e)
+            if cursor >= upto:
+                return out
+        if cursor < upto:
+            out.append((cursor, upto))
+        return out
+
     def contiguous_prefix(self) -> int:
         """Bytes received in order from offset 0 (stream delivery point)."""
         ranges = self._ranges

@@ -14,6 +14,7 @@ from repro.core.engine import Simulator
 from repro.core.packet import FULL_WIRE
 from repro.core.pool import PacketPool
 from repro.core.topology import Network
+from repro.transport.base import RecoveryConfig
 from repro.baselines.ndp import NdpTransport
 from repro.baselines.pfabric import PfabricTransport
 from repro.baselines.phost import PHostTransport
@@ -29,11 +30,14 @@ PROTOCOLS = ("homa", "basic", "pfabric", "phost", "pias", "ndp",
              "stream", "stream_mc")
 
 #: protocols whose loss-recovery path is exercised end-to-end by the
-#: fault battery (tests/test_faults.py): dropped DATA/GRANT packets are
-#: recovered through timeouts/RESEND or surfaced as give-ups.  Lossy or
-#: faulty fabrics (core/faults.py) refuse other protocols rather than
-#: silently losing messages with no recovery accounting.
-LOSS_VALIDATED = ("homa", "basic")
+#: recovery battery (tests/test_recovery.py, tests/test_faults.py):
+#: dropped DATA/control packets are recovered through per-protocol
+#: timeouts (Homa RESENDs, pHost gap tokens, NDP re-NACKs, pFabric/
+#: PIAS/stream retransmission timers) or surfaced as give-ups through
+#: the shared RecoveryConfig contract in transport/base.py.  The
+#: registry arms recovery only when the fabric can drop packets
+#: (``net.may_drop()``), so clean-fabric digests stay byte-identical.
+LOSS_VALIDATED = PROTOCOLS
 
 
 def supports_fabric_faults(protocol: str) -> bool:
@@ -80,6 +84,12 @@ def transport_factory(
     rtt_bytes = net.rtt_bytes()
     rtt_ps = net.rtt_ps()
     host_gbps = net.cfg.host_gbps
+    # Loss recovery is armed only when the fabric can actually drop
+    # (injected loss filters or an armed fault schedule): on a clean
+    # fabric ``recovery`` is None and no transport schedules a single
+    # recovery event, keeping clean digests byte-identical.
+    may_drop = net.may_drop()
+    recovery = RecoveryConfig(base_ps=3 * rtt_ps) if may_drop else None
 
     if protocol in ("homa", "basic"):
         cfg = homa_cfg or (HomaConfig.basic() if protocol == "basic"
@@ -96,25 +106,31 @@ def transport_factory(
         # at their destination regardless of which sender drew them.
         pool = PacketPool(cfg.pool_prealloc)
         return lambda host: HomaTransport(sim, cfg, alloc, rtt_bytes,
-                                          link_gbps=host_gbps, pool=pool)
+                                          link_gbps=host_gbps, pool=pool,
+                                          peer_gc=may_drop)
 
     if protocol == "pfabric":
         return lambda host: PfabricTransport(sim, rtt_bytes=rtt_bytes,
-                                             rtt_ps=rtt_ps)
+                                             rtt_ps=rtt_ps,
+                                             recovery=recovery)
     if protocol == "phost":
         return lambda host: PHostTransport(sim, rtt_bytes=rtt_bytes,
-                                           host_gbps=host_gbps, rtt_ps=rtt_ps)
+                                           host_gbps=host_gbps, rtt_ps=rtt_ps,
+                                           recovery=recovery)
     if protocol == "pias":
         thresholds = pias_thresholds(cdf)
         return lambda host: PiasTransport(sim, thresholds=thresholds,
-                                          rtt_ps=rtt_ps)
+                                          rtt_ps=rtt_ps, recovery=recovery)
     if protocol == "ndp":
         return lambda host: NdpTransport(sim, rtt_bytes=rtt_bytes,
-                                         host_gbps=host_gbps)
+                                         host_gbps=host_gbps,
+                                         recovery=recovery)
     if protocol == "stream":
         return lambda host: StreamTransport(sim, window_bytes=rtt_bytes,
-                                            connections_per_pair=1)
+                                            connections_per_pair=1,
+                                            recovery=recovery)
     if protocol == "stream_mc":
         return lambda host: StreamTransport(sim, window_bytes=rtt_bytes,
-                                            connections_per_pair=8)
+                                            connections_per_pair=8,
+                                            recovery=recovery)
     raise ValueError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")

@@ -74,6 +74,33 @@ def fabric_cluster(
     return sim, net, transports
 
 
+def protocol_cluster(
+    protocol: str,
+    spec,
+    seed=1,
+    workload: str = "W2",
+    **net_overrides,
+):
+    """Fabric from a TopologySpec + one transport per host via the
+    protocol registry.
+
+    The registry arms loss recovery iff the spec can drop packets
+    (``net.may_drop()``), exactly as the experiment runner does — so
+    these clusters exercise the same recovery wiring the battery
+    validates (tests/test_recovery.py).
+    """
+    from repro.transport.registry import network_overrides, transport_factory
+
+    sim = Simulator()
+    overrides = dict(network_overrides(protocol))
+    overrides.update(net_overrides)
+    net = build_fabric(sim, spec, seed=seed, overrides=overrides)
+    cdf = get_workload(workload).cdf
+    transports = net.attach_transports(
+        transport_factory(protocol, sim, net, cdf))
+    return sim, net, transports
+
+
 class FakeEgress:
     """Stub NIC egress for direct-transport tests.
 

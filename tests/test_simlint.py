@@ -54,6 +54,7 @@ def test_every_rule_has_fixture_coverage():
         "registry-hooks",
         "sched-arity",
         "campaign-registry",
+        "units",
     }
     assert RULES["hot-alloc"].tier == "advisory"
 
@@ -938,6 +939,79 @@ def test_fault_determinism_pragma_waives():
     )
     assert result.findings == []
     assert [f.rule for f in result.waived] == ["fault-determinism"]
+
+
+# -- units --------------------------------------------------------------
+
+
+def test_units_flags_mixed_suffix_arithmetic():
+    hits = rule_hits(
+        """
+        def budget(self, deadline_ns, timeout_ps):
+            return deadline_ns + timeout_ps
+        """,
+        "units",
+    )
+    assert [f.detail for f in hits] == ["binop:ns:ps"]
+
+
+def test_units_flags_mixed_suffix_compare_and_augassign():
+    hits = rule_hits(
+        """
+        def tick(self, elapsed_us, budget_ms, total_ps, step_ns):
+            if elapsed_us > budget_ms:
+                total_ps += step_ns
+        """,
+        "units",
+    )
+    assert sorted(f.detail for f in hits) == [
+        "augassign:ps:ns",
+        "compare:ms:us",
+    ]
+
+
+def test_units_flags_non_ps_schedule_argument():
+    hits = rule_hits(
+        """
+        def arm(self, delay_ns, at_ms):
+            self.sim.schedule(delay_ns, self._fire)
+            self.sim.schedule_at(at_ms, self._fire)
+            self.sim.schedule(self.sim.now + delay_ns * NS, self._fire)
+        """,
+        "units",
+    )
+    assert sorted(f.detail for f in hits) == [
+        "schedule:ms",
+        "schedule:ns",
+    ]
+
+
+def test_units_passes_conversion_idioms_and_same_unit_chains():
+    src = """
+        def arm(self, delay_ns, budget_ms, total_ps, count):
+            deadline_ps = delay_ns * NS + budget_ms * MS
+            self.sim.schedule(delay_ns * NS, self._fire)
+            self.sim.schedule_at(now + 3 * total_ps, self._fire)
+            spent_ms = total_ps // MS
+            if total_ps // 2 > deadline_ps - total_ps:
+                return spent_ms + budget_ms
+            return count + total_ps  # unsuffixed operand: unknown unit
+        """
+    assert rule_hits(src, "units") == []
+
+
+def test_units_pragma_waives():
+    src = """
+        def arm(self, delay_ns):
+            self.sim.schedule(delay_ns, self._fire)  # simlint: ok(units) — fixture: shim converts inside schedule()
+        """
+    result = analyze_source(
+        textwrap.dedent(src),
+        rel="src/repro/core/snippet.py",
+        rules=["units"],
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.waived] == ["units"]
 
 
 # -- pragma hygiene -----------------------------------------------------
